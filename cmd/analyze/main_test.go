@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vbrsim/internal/mpegtrace"
+)
+
+// writeTestTrace writes a synthetic trace CSV and returns its path.
+func writeTestTrace(t *testing.T, frames int) string {
+	t.Helper()
+	tr, err := mpegtrace.Generate(mpegtrace.Config{Frames: frames, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummary(t *testing.T) {
+	path := writeTestTrace(t, 1<<15)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-i", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"frames analyzed: 32768", "variance-time", "R/S analysis", "combined H", "acf[1]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFrameTypeFilter(t *testing.T) {
+	path := writeTestTrace(t, 1<<15)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-i", path, "-type", "I"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "frames analyzed: 2731") {
+		t.Errorf("I-frame count wrong:\n%s", stdout.String())
+	}
+	if err := run([]string{"-i", path, "-type", "X"}, &stdout, &stderr); err == nil {
+		t.Error("bad frame type accepted")
+	}
+}
+
+func TestRunWhittleFlag(t *testing.T) {
+	path := writeTestTrace(t, 1<<15)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-i", path, "-whittle"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "local Whittle: H =") {
+		t.Errorf("Whittle estimate missing:\n%s", stdout.String())
+	}
+}
+
+func TestRunDatFiles(t *testing.T) {
+	path := writeTestTrace(t, 1<<15)
+	prefix := filepath.Join(t.TempDir(), "out")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-i", path, "-out-prefix", prefix}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{"-hist.dat", "-vt.dat", "-rs.dat", "-acf.dat"} {
+		data, err := os.ReadFile(prefix + suffix)
+		if err != nil {
+			t.Errorf("%s: %v", suffix, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", suffix)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run([]string{"-i", "/nonexistent/file.csv"}, &stdout, &stderr); err == nil {
+		t.Error("nonexistent input accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSubsetQuick(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-quick", "-out", dir, "-only", "table1,fig3,fig6", "-seed", "99"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"=== table1:", "=== fig3:", "=== fig6:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, id := range []string{"table1", "fig3", "fig6"} {
+		data, err := os.ReadFile(filepath.Join(dir, id+".dat"))
+		if err != nil {
+			t.Errorf("%s.dat: %v", id, err)
+			continue
+		}
+		if !strings.Contains(string(data), "# "+id) {
+			t.Errorf("%s.dat lacks header", id)
+		}
+	}
+}
+
+func TestRunUnknownExhibit(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-quick", "-out", dir, "-only", "fig99"}, &stdout, &stderr); err == nil {
+		t.Error("unknown exhibit accepted")
+	}
+}
+
+func TestRunBadOutputDir(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// A file path where a directory is required.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-out", f, "-only", "table1"}, &stdout, &stderr); err == nil {
+		t.Error("file-as-directory accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vbrsim/internal/mpegtrace"
+)
+
+func testTracePath(t *testing.T) string {
+	t.Helper()
+	tr, err := mpegtrace.Generate(mpegtrace.Config{Frames: 1 << 17, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunIS(t *testing.T) {
+	path := testTracePath(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-i", path, "-util", "0.6", "-buffer", "30", "-reps", "200", "-twist", "1.0"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"Importance sampling", "P(Q_k > b)", "variance reduction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPlainMC(t *testing.T) {
+	path := testTracePath(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-i", path, "-util", "0.8", "-buffer", "20", "-reps", "200", "-mc"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Plain Monte Carlo") {
+		t.Errorf("MC mode not reported:\n%s", stdout.String())
+	}
+}
+
+func TestRunTraceDriven(t *testing.T) {
+	path := testTracePath(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-i", path, "-util", "0.7", "-buffer", "20", "-trace-driven"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "trace-driven steady state") {
+		t.Errorf("trace-driven output missing:\n%s", stdout.String())
+	}
+}
+
+func TestRunTraceDrivenWithBatches(t *testing.T) {
+	path := testTracePath(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-i", path, "-util", "0.7", "-buffer", "20", "-trace-driven", "-batches", "10"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "batch means (10 batches)") {
+		t.Errorf("batch CI missing:\n%s", stdout.String())
+	}
+}
+
+func TestRunSearch(t *testing.T) {
+	path := testTracePath(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-i", path, "-util", "0.4", "-buffer", "25", "-reps", "100", "-search"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "norm.var") {
+		t.Errorf("search table missing:\n%s", stdout.String())
+	}
+}
+
+func TestRunMultiplexed(t *testing.T) {
+	path := testTracePath(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-i", path, "-util", "0.8", "-buffer", "20", "-reps", "100", "-sources", "4"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "4 multiplexed sources") {
+		t.Errorf("multiplexed output missing:\n%s", stdout.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Error("missing input accepted")
+	}
+	path := testTracePath(t)
+	if err := run([]string{"-i", path, "-util", "1.5", "-buffer", "10"}, &stdout, &stderr); err == nil {
+		t.Error("bad utilization accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Multiplexgain: quantify the statistical multiplexing gain of VBR video.
+//
+// The paper's introduction motivates VBR transmission by the efficiency of
+// statistically multiplexing bursty sources. This example makes that
+// concrete: N independent synthetic video sources (fitted with the unified
+// model) feed one ATM multiplexer whose capacity and buffer scale with N at
+// fixed per-source utilization. As N grows the aggregate smooths and the
+// overflow probability falls — the multiplexing gain — but long-range
+// dependence limits how much smoothing aggregation can buy.
+//
+// It also demonstrates ATM segmentation: frame bytes are packed into
+// 48-byte-payload cells and spread over the slots of a frame time.
+//
+//	go run ./examples/multiplexgain
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"vbrsim"
+)
+
+func main() {
+	tr, err := vbrsim.GenerateMPEGTrace(vbrsim.MPEGTraceConfig{Frames: 1 << 17, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := vbrsim.Fit(tr.ByType(vbrsim.FrameI), vbrsim.FitOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-source: mean %.0f bytes/frame, H = %.2f\n", model.MeanRate(), model.H)
+
+	// Cell view of one source (15 slice-slots per frame, as in Table 1).
+	cells, err := vbrsim.SegmentIntoCells(tr.Sizes[:3000], vbrsim.ATMCellPayload, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var peak, sum float64
+	for _, c := range cells {
+		sum += c
+		if c > peak {
+			peak = c
+		}
+	}
+	meanCells := sum / float64(len(cells))
+	fmt.Printf("cell level: mean %.1f cells/slot, peak %.0f (peak/mean %.1f) with frame spreading\n\n",
+		meanCells, peak, peak/meanCells)
+
+	const (
+		util    = 0.7
+		bufNorm = 40.0 // per-source buffer allocation, mean-frame units
+		horizon = 400
+		reps    = 2000
+	)
+	plan, err := model.Plan(horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	single := vbrsim.ArrivalSource{Plan: plan, Transform: model.Transform}
+
+	fmt.Printf("%-10s %-14s %-16s\n", "sources N", "P(overflow)", "gain vs N=1")
+	var pSingle float64
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		src := vbrsim.PathSource(single)
+		if n > 1 {
+			src = vbrsim.Superposition{Base: single, N: n}
+		}
+		service, err := vbrsim.ServiceForUtilization(float64(n)*model.MeanRate(), util)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := vbrsim.EstimateOverflowMC(src, service, float64(n)*bufNorm*model.MeanRate(), horizon,
+			vbrsim.MCOptions{Replications: reps, Seed: uint64(100 + n)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gain := "-"
+		if n == 1 {
+			pSingle = res.P
+		} else if res.P > 0 && pSingle > 0 {
+			gain = fmt.Sprintf("%.1fx", pSingle/res.P)
+		} else if res.P == 0 {
+			gain = fmt.Sprintf(">%.0fx", pSingle*float64(reps))
+		}
+		fmt.Printf("%-10d %-14s %-16s\n", n, formatP(res.P), gain)
+	}
+	fmt.Println("\nreading: the gain grows with N but sub-linearly — the shared")
+	fmt.Println("long-range component of self-similar sources does not average out,")
+	fmt.Println("which is why LRD-aware models matter for admission control.")
+}
+
+func formatP(p float64) string {
+	if p <= 0 {
+		return "<1/reps"
+	}
+	return fmt.Sprintf("%.2e(%.1f)", p, math.Log10(p))
+}

@@ -1,0 +1,67 @@
+// Quickstart: fit the paper's unified model to a VBR video trace and
+// generate statistically matching synthetic traffic.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vbrsim"
+)
+
+func main() {
+	// 1. Obtain an empirical-style trace. Here we synthesize one with the
+	// built-in MPEG-1 source simulator; in practice this would be a real
+	// bytes-per-frame record.
+	tr, err := vbrsim.GenerateMPEGTrace(vbrsim.MPEGTraceConfig{Frames: 1 << 17, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := tr.Summarize()
+	fmt.Printf("input trace: %d frames, mean %.0f bytes/frame, peak/mean %.1f\n",
+		s.Frames, s.MeanBytes, s.PeakToMean)
+
+	// 2. Estimate the Hurst parameter (paper Step 1).
+	h, vt, rs, err := vbrsim.EstimateHurst(tr.Sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Hurst: variance-time %.3f, R/S %.3f -> combined H = %.3f\n", vt.H, rs.H, h)
+
+	// 3. Fit the unified model to the I-frame process (Steps 1-4).
+	model, err := vbrsim.Fit(tr.ByType(vbrsim.FrameI), vbrsim.FitOptions{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fg := model.Foreground
+	fmt.Printf("fitted ACF: exp(-%.4f k) below knee %d, %.3f k^-%.3f beyond; attenuation a = %.3f\n",
+		fg.Rates[0], fg.Knee, fg.L, fg.Beta, model.Attenuation)
+
+	// 4. Generate synthetic traffic with the same marginal and ACF.
+	synthetic, err := model.Generate(10000, 42, vbrsim.BackendAuto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sum float64
+	for _, v := range synthetic {
+		sum += v
+	}
+	fmt.Printf("synthetic: %d frames, mean %.0f bytes/frame (model mean %.0f)\n",
+		len(synthetic), sum/float64(len(synthetic)), model.MeanRate())
+
+	// 5. Or generate a full I-B-P stream with the composite model (Sec 3.3).
+	gop, err := vbrsim.FitGOP(tr, vbrsim.FitOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := gop.Generate(1200, 43, vbrsim.BackendAuto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := stream.Summarize()
+	fmt.Printf("composite stream: %d frames (I=%d P=%d B=%d), mean %.0f bytes/frame\n",
+		cs.Frames, cs.TypeCounts[vbrsim.FrameI], cs.TypeCounts[vbrsim.FrameP],
+		cs.TypeCounts[vbrsim.FrameB], cs.MeanBytes)
+}

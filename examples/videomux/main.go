@@ -1,0 +1,92 @@
+// Videomux: dimension the buffer of an ATM multiplexer carrying VBR video.
+//
+// This is the workload the paper's introduction motivates: a network
+// designer must pick a multiplexer buffer size so that the cell-loss
+// probability stays below a target. The example fits the unified model to a
+// video trace, then sweeps buffer sizes at several utilizations and reports
+// the overflow probability for each — the paper's Fig. 16 as an engineering
+// tool.
+//
+//	go run ./examples/videomux
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"vbrsim"
+)
+
+func main() {
+	tr, err := vbrsim.GenerateMPEGTrace(vbrsim.MPEGTraceConfig{Frames: 1 << 17, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := vbrsim.Fit(tr.ByType(vbrsim.FrameI), vbrsim.FitOptions{Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("video source: mean %.0f bytes/frame, H = %.2f\n\n", model.MeanRate(), model.H)
+
+	buffers := []float64{25, 50, 100, 200} // normalized to mean frame size
+	utils := []float64{0.4, 0.6, 0.8}
+	const lossTarget = 1e-3
+
+	maxHorizon := int(10 * buffers[len(buffers)-1])
+	plan, err := model.Plan(maxHorizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s", "buffer b")
+	for _, u := range utils {
+		fmt.Printf("util %.1f      ", u)
+	}
+	fmt.Println()
+	recommended := map[float64]float64{}
+	for _, b := range buffers {
+		fmt.Printf("%-12.0f", b)
+		for _, u := range utils {
+			service, err := vbrsim.ServiceForUtilization(model.MeanRate(), u)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := vbrsim.EstimateOverflowIS(vbrsim.ISConfig{
+				Plan:         plan,
+				Transform:    model.Transform,
+				Service:      service,
+				Buffer:       b * model.MeanRate(),
+				Horizon:      int(10 * b),
+				Twist:        2.0 * (1 - u), // heavier twist for rarer events
+				Replications: 800,
+				Seed:         uint64(b) + uint64(u*100),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-14s", formatP(res.P))
+			if _, ok := recommended[u]; !ok && res.P > 0 && res.P < lossTarget {
+				recommended[u] = b
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nsmallest buffer meeting P(loss) < %.0e:\n", lossTarget)
+	for _, u := range utils {
+		if b, ok := recommended[u]; ok {
+			fmt.Printf("  utilization %.1f: b = %.0f mean-frame units\n", u, b)
+		} else {
+			fmt.Printf("  utilization %.1f: none in the swept range\n", u)
+		}
+	}
+	fmt.Println("\nnote: with LRD video traffic the loss decays only polynomially in b —")
+	fmt.Println("doubling the buffer buys far less than Markovian models predict (Fig. 17).")
+}
+
+func formatP(p float64) string {
+	if p <= 0 {
+		return "<1e-12"
+	}
+	return fmt.Sprintf("%.1e(%.1f)", p, math.Log10(p))
+}

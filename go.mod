@@ -1,0 +1,3 @@
+module vbrsim
+
+go 1.22

@@ -1,0 +1,172 @@
+package vbrsim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRefitConsistency is the strongest self-consistency check the unified
+// approach admits: fit a model to a trace, generate a long synthetic trace
+// from the model, refit a second model to the synthetic trace, and compare.
+// If the pipeline is internally coherent, the second model's Hurst
+// parameter, marginal and ACF must reproduce the first's.
+func TestRefitConsistency(t *testing.T) {
+	tr, err := GenerateMPEGTrace(MPEGTraceConfig{Frames: 1 << 17, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Fit(tr.ByType(FrameI), FitOptions{Seed: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Generate a synthetic record as long as the original I-frame record.
+	n := len(tr.ByType(FrameI))
+	syn, err := m1.Generate(n, 73, BackendDaviesHarte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Fit(syn, FitOptions{Seed: 74})
+	if err != nil {
+		t.Fatalf("refit failed: %v", err)
+	}
+
+	// Hurst consistency (estimator noise on these lengths is ~0.05-0.1).
+	if math.Abs(m2.H-m1.H) > 0.15 {
+		t.Errorf("refit H = %v vs original %v", m2.H, m1.H)
+	}
+	// Marginal consistency: KS distance between original and synthetic.
+	d, err := KolmogorovSmirnov(tr.ByType(FrameI), syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.1 {
+		t.Errorf("marginal KS distance = %v", d)
+	}
+	// Mean rates agree.
+	if math.Abs(m2.MeanRate()-m1.MeanRate()) > 0.1*m1.MeanRate() {
+		t.Errorf("mean rate %v vs %v", m2.MeanRate(), m1.MeanRate())
+	}
+	// Foreground ACF agreement at representative lags.
+	for _, k := range []int{1, 10, 50, 200} {
+		a1, a2 := m1.Foreground.At(k), m2.Foreground.At(k)
+		if math.Abs(a1-a2) > 0.15 {
+			t.Errorf("refit foreground acf[%d] = %v vs %v", k, a2, a1)
+		}
+	}
+}
+
+// TestQueueEstimatorsCrossValidate drives the same overflow question
+// through all four estimation routes — plain MC, IS, trace-driven time
+// average, and batch means — and requires them to agree within their
+// uncertainties, on a deliberately common (non-rare) event.
+func TestQueueEstimatorsCrossValidate(t *testing.T) {
+	tr, err := GenerateMPEGTrace(MPEGTraceConfig{Frames: 1 << 17, Seed: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(tr.ByType(FrameI), FitOptions{Seed: 82})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const util = 0.8
+	service, err := ServiceForUtilization(m.MeanRate(), util)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufAbs := 15 * m.MeanRate()
+	const horizon = 300
+	plan, err := m.Plan(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := ArrivalSource{Plan: plan, Transform: m.Transform}
+	mc, err := EstimateOverflowMC(src, service, bufAbs, horizon, MCOptions{Replications: 3000, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := EstimateOverflowIS(ISConfig{
+		Plan: plan, Transform: m.Transform,
+		Service: service, Buffer: bufAbs, Horizon: horizon,
+		Twist: 0.5, Replications: 3000, Seed: 84,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.P < 0.02 {
+		t.Fatalf("cross-validation event too rare: %v", mc.P)
+	}
+	if math.Abs(math.Log10(is.P)-math.Log10(mc.P)) > 0.3 {
+		t.Errorf("IS %v vs MC %v", is.P, mc.P)
+	}
+
+	// Long synthetic trace through the time-average estimators. The
+	// steady-state time average is not identical to the finite-horizon
+	// transient probability, but at util 0.8 and k=300 they are close.
+	synSizes, err := m.Generate(1<<17, 85, BackendDaviesHarte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := TraceOverflowCI(synSizes, service, bufAbs, 2000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.P <= 0 {
+		t.Fatal("trace-driven estimate found no overflow")
+	}
+	if math.Abs(math.Log10(ci.P)-math.Log10(mc.P)) > 0.7 {
+		t.Errorf("trace-driven %v vs MC %v differ by > 0.7 decades", ci.P, mc.P)
+	}
+}
+
+// TestSliceLevelQueueConsistency checks that cell-level queueing of a
+// spread slice trace behaves sanely against frame-level queueing: with the
+// same utilization, spreading over slices cannot increase loss at large
+// buffers.
+func TestSliceLevelQueueConsistency(t *testing.T) {
+	tr, err := GenerateMPEGTrace(MPEGTraceConfig{Frames: 1 << 14, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := ToSlices(tr, SliceOptions{Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameCells, err := SegmentIntoCells(tr.Sizes, ATMCellPayload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliceCells, err := SegmentIntoCells(sl.Sizes, ATMCellPayload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-slice ceil rounding creates more total cells than per-frame
+	// rounding (up to slices-1 extra per frame), so utilization must be
+	// computed from each stream's own mean — otherwise the slice-level
+	// queue silently runs hotter.
+	meanOf := func(x []float64) float64 {
+		var s float64
+		for _, c := range x {
+			s += c
+		}
+		return s / float64(len(x))
+	}
+	frameMean := meanOf(frameCells)
+	sliceMean := meanOf(sliceCells)
+	util := 0.85
+	bCells := 30 * frameMean // same absolute buffer in cells
+	pFrame, err := TraceOverflowCI(frameCells, frameMean/util, bCells, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSlice, err := TraceOverflowCI(sliceCells, sliceMean/util, bCells, 500*15, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At matched utilization and a buffer tens of frames deep, the two
+	// granularities must tell the same story.
+	if math.Abs(pSlice.P-pFrame.P) > 0.15 {
+		t.Errorf("granularity changed the answer: slice %v vs frame %v", pSlice.P, pFrame.P)
+	}
+}

@@ -1,0 +1,188 @@
+// Multi-exponential SRD fitting. The paper's eq. (10) allows the
+// short-range part of the composite ACF to be a weighted sum of j
+// exponentials with sum(w_i) = 1 (eq. 11); the paper itself uses j = 1 and
+// leaves richer SRD structure open. This file fits j = 2 by separable least
+// squares: for any rate pair the optimal convex weight has a closed form,
+// so the search reduces to a two-dimensional grid over rates followed by
+// local refinement.
+package acf
+
+import (
+	"errors"
+	"math"
+)
+
+// FitSRDExponentials fits sum_i w_i exp(-lambda_i k) with w_i >= 0 and
+// sum w_i = 1 to the lags [1, knee) of an empirical ACF (lag 0 = 1 pins the
+// weight constraint). nComp must be 1 or 2. It returns parallel weight and
+// rate slices, rates ascending.
+func FitSRDExponentials(empirical []float64, knee, nComp int) (weights, rates []float64, err error) {
+	if knee < 3 || knee > len(empirical) {
+		return nil, nil, errors.New("acf: SRD fit needs knee in [3, len(acf)]")
+	}
+	switch nComp {
+	case 1:
+		e, err := fitExponential(empirical, 1, knee)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []float64{1}, []float64{e.Lambda}, nil
+	case 2:
+		return fitTwoExponentials(empirical, knee)
+	default:
+		return nil, nil, errors.New("acf: SRD fit supports 1 or 2 components")
+	}
+}
+
+// fitTwoExponentials performs the grid + refinement search.
+func fitTwoExponentials(empirical []float64, knee int) (weights, rates []float64, err error) {
+	ks := make([]float64, 0, knee-1)
+	rs := make([]float64, 0, knee-1)
+	for k := 1; k < knee; k++ {
+		ks = append(ks, float64(k))
+		rs = append(rs, empirical[k])
+	}
+	if len(ks) < 3 {
+		return nil, nil, errors.New("acf: too few SRD lags for a two-exponential fit")
+	}
+
+	// sse evaluates the best achievable error for a rate pair, with the
+	// optimal clamped weight.
+	sse := func(l1, l2 float64) (float64, float64) {
+		var num, den float64
+		for i, k := range ks {
+			a := math.Exp(-l1 * k)
+			b := math.Exp(-l2 * k)
+			num += (rs[i] - b) * (a - b)
+			den += (a - b) * (a - b)
+		}
+		w := 0.5
+		if den > 0 {
+			w = num / den
+		}
+		if w < 0 {
+			w = 0
+		}
+		if w > 1 {
+			w = 1
+		}
+		var s float64
+		for i, k := range ks {
+			model := w*math.Exp(-l1*k) + (1-w)*math.Exp(-l2*k)
+			d := rs[i] - model
+			s += d * d
+		}
+		return s, w
+	}
+
+	// Log-spaced rate grid spanning decay times from ~1 lag to ~10x the
+	// knee.
+	const gridN = 24
+	lo := 0.01 / float64(knee)
+	hi := 2.0
+	grid := make([]float64, gridN)
+	for i := range grid {
+		grid[i] = lo * math.Pow(hi/lo, float64(i)/float64(gridN-1))
+	}
+	bestErr := math.Inf(1)
+	var bestL1, bestL2, bestW float64
+	for i, l1 := range grid {
+		for _, l2 := range grid[i:] {
+			e, w := sse(l1, l2)
+			if e < bestErr {
+				bestErr, bestL1, bestL2, bestW = e, l1, l2, w
+			}
+		}
+	}
+	if math.IsInf(bestErr, 1) {
+		return nil, nil, errors.New("acf: two-exponential grid search failed")
+	}
+
+	// Local refinement: shrink a multiplicative neighborhood around the
+	// best pair.
+	span := math.Sqrt(hi / lo)
+	for iter := 0; iter < 12; iter++ {
+		span = math.Sqrt(span)
+		improved := false
+		for _, f1 := range []float64{1 / span, 1, span} {
+			for _, f2 := range []float64{1 / span, 1, span} {
+				l1 := bestL1 * f1
+				l2 := bestL2 * f2
+				if l1 <= 0 || l2 <= 0 {
+					continue
+				}
+				e, w := sse(l1, l2)
+				if e < bestErr {
+					bestErr, bestL1, bestL2, bestW = e, l1, l2, w
+					improved = true
+				}
+			}
+		}
+		if !improved && span < 1.001 {
+			break
+		}
+	}
+	if bestL1 > bestL2 {
+		bestL1, bestL2 = bestL2, bestL1
+		bestW = 1 - bestW
+	}
+	// Degenerate second component: collapse to one exponential.
+	if bestW >= 1-1e-9 || bestL1 == bestL2 {
+		return []float64{1}, []float64{bestL1}, nil
+	}
+	if bestW <= 1e-9 {
+		return []float64{1}, []float64{bestL2}, nil
+	}
+	return []float64{bestW, 1 - bestW}, []float64{bestL1, bestL2}, nil
+}
+
+// FitCompositeMulti fits the composite knee model with a two-exponential
+// SRD part (eqs. 10-12 with j = 2): the knee and LRD tail are fitted as in
+// FitComposite, then the SRD region is refitted with two exponentials and
+// the splice is made continuous (re-anchoring L) and convex.
+func FitCompositeMulti(empirical []float64, opt FitOptions) (Composite, error) {
+	base, err := FitComposite(empirical, opt)
+	if err != nil {
+		return Composite{}, err
+	}
+	w, r, err := FitSRDExponentials(empirical, base.Knee, 2)
+	if err != nil {
+		return Composite{}, err
+	}
+	if len(w) == 1 {
+		return base, nil // two-exponential fit collapsed; keep the base
+	}
+	c := Composite{
+		Weights: w,
+		Rates:   r,
+		L:       base.L,
+		Beta:    base.Beta,
+		Knee:    base.Knee,
+	}
+	if !opt.AllowDiscontinuous {
+		c = c.Continuous()
+		c, err = c.EnsureConvex()
+		if err != nil {
+			return Composite{}, err
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Composite{}, err
+	}
+	// Keep the richer SRD only if it actually fits the head better.
+	if srdSSE(empirical, c) <= srdSSE(empirical, base) {
+		return c, nil
+	}
+	return base, nil
+}
+
+// srdSSE sums squared head-region errors of a composite against an
+// empirical ACF.
+func srdSSE(empirical []float64, c Composite) float64 {
+	var s float64
+	for k := 1; k < c.Knee && k < len(empirical); k++ {
+		d := empirical[k] - c.At(k)
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,207 @@
+package acf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitSRDExponentialsSingle(t *testing.T) {
+	truth := Exponential{Lambda: 0.05}
+	emp := Table(truth, 100)
+	w, r, err := FitSRDExponentials(emp, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 1 || w[0] != 1 {
+		t.Fatalf("weights = %v", w)
+	}
+	if math.Abs(r[0]-0.05) > 1e-9 {
+		t.Errorf("rate = %v, want 0.05", r[0])
+	}
+}
+
+func TestFitSRDExponentialsTwoRecovers(t *testing.T) {
+	// A genuinely bimodal decay: fast component + slow component.
+	wTrue := []float64{0.6, 0.4}
+	lTrue := []float64{0.02, 0.4}
+	emp := make([]float64, 101)
+	emp[0] = 1
+	for k := 1; k <= 100; k++ {
+		emp[k] = wTrue[0]*math.Exp(-lTrue[1]*float64(k)) + wTrue[1]*math.Exp(-lTrue[0]*float64(k))
+	}
+	// Note: truth written with (fast weight 0.6, slow weight 0.4); rates
+	// returned ascending so slow rate first.
+	w, r, err := FitSRDExponentials(emp, 80, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 {
+		t.Fatalf("collapsed to %d components", len(w))
+	}
+	if r[0] >= r[1] {
+		t.Fatalf("rates not ascending: %v", r)
+	}
+	// Reconstruction error must be tiny across the head.
+	for k := 1; k <= 79; k++ {
+		model := w[0]*math.Exp(-r[0]*float64(k)) + w[1]*math.Exp(-r[1]*float64(k))
+		if math.Abs(model-emp[k]) > 5e-3 {
+			t.Fatalf("lag %d: model %v vs truth %v", k, model, emp[k])
+		}
+	}
+	// Parameters near truth (slow component: rate 0.02 weight 0.4).
+	if math.Abs(r[0]-0.02) > 0.01 {
+		t.Errorf("slow rate = %v, want ~0.02", r[0])
+	}
+	if math.Abs(w[0]-0.4) > 0.1 {
+		t.Errorf("slow weight = %v, want ~0.4", w[0])
+	}
+}
+
+func TestFitSRDExponentialsCollapsesOnSingle(t *testing.T) {
+	// Pure single-exponential data: the two-component fit must either
+	// collapse to one component or reproduce the curve exactly.
+	truth := Exponential{Lambda: 0.1}
+	emp := Table(truth, 100)
+	w, r, err := FitSRDExponentials(emp, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < 60; k++ {
+		var model float64
+		for i := range w {
+			model += w[i] * math.Exp(-r[i]*float64(k))
+		}
+		if math.Abs(model-emp[k]) > 1e-3 {
+			t.Fatalf("lag %d: model %v vs truth %v", k, model, emp[k])
+		}
+	}
+}
+
+func TestFitSRDExponentialsValidation(t *testing.T) {
+	emp := Table(Exponential{Lambda: 0.1}, 50)
+	if _, _, err := FitSRDExponentials(emp, 2, 1); err == nil {
+		t.Error("tiny knee accepted")
+	}
+	if _, _, err := FitSRDExponentials(emp, 30, 3); err == nil {
+		t.Error("3 components accepted")
+	}
+	if _, _, err := FitSRDExponentials(emp, 100, 1); err == nil {
+		t.Error("knee beyond ACF accepted")
+	}
+}
+
+func TestFitCompositeMultiImprovesBimodalHead(t *testing.T) {
+	// Composite truth with a two-exponential head.
+	truth := Composite{
+		Weights: []float64{0.5, 0.5},
+		Rates:   []float64{0.01, 0.3},
+		L:       0, Beta: 0.25, Knee: 60,
+	}
+	truth.L = truth.srdValue(60) * math.Pow(60, 0.25)
+	emp := Table(truth, 400)
+	multi, err := FitCompositeMulti(emp, FitOptions{Knee: 60, Beta: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := FitComposite(emp, FitOptions{Knee: 60, Beta: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srdSSE(emp, multi) > srdSSE(emp, single) {
+		t.Errorf("multi SSE %v worse than single %v", srdSSE(emp, multi), srdSSE(emp, single))
+	}
+	if err := multi.Validate(); err != nil {
+		t.Errorf("multi fit invalid: %v", err)
+	}
+	if !multi.ConvexAtKnee() {
+		t.Error("multi fit not convex at knee")
+	}
+	if gap := multi.ContinuityGap(); gap > 1e-9 {
+		t.Errorf("multi fit continuity gap %v", gap)
+	}
+}
+
+func TestMultiExponentialCompositeGeneratable(t *testing.T) {
+	// A fitted two-exponential composite must be a valid correlation
+	// function (checked indirectly through convexity + continuity, and
+	// directly by evaluating bounds).
+	c := Composite{
+		Weights: []float64{0.5, 0.5},
+		Rates:   []float64{0.01, 0.3},
+		L:       1.2, Beta: 0.25, Knee: 60,
+	}
+	c = c.Continuous()
+	c, err := c.EnsureConvex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.0
+	for k := 1; k < 500; k++ {
+		v := c.At(k)
+		if v <= 0 || v > prev {
+			t.Fatalf("not positive decreasing at lag %d: %v (prev %v)", k, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestCompensateMultiExponential(t *testing.T) {
+	rhat := Composite{
+		Weights: []float64{0.5, 0.5},
+		Rates:   []float64{0.01, 0.3},
+		L:       1.2, Beta: 0.25, Knee: 60,
+	}
+	rhat = rhat.Continuous()
+	a := 0.9
+	comp, err := Compensate(rhat, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure preserved: still two components with the same weights.
+	if len(comp.Weights) != 2 || comp.Weights[0] != 0.5 {
+		t.Fatalf("compensation lost the multi-exponential head: %+v", comp)
+	}
+	// Tail raised by 1/a.
+	for _, k := range []int{comp.Knee, comp.Knee + 100} {
+		want := rhat.L / a * math.Pow(float64(k), -rhat.Beta)
+		if math.Abs(comp.At(k)-want) > 1e-9 {
+			t.Errorf("compensated tail at %d = %v, want %v", k, comp.At(k), want)
+		}
+	}
+	// Continuity at the knee within bisection tolerance.
+	if gap := comp.ContinuityGap(); gap > 1e-6 {
+		t.Errorf("continuity gap %v", gap)
+	}
+	// Rates rescaled by a common factor: ratio preserved.
+	r0 := comp.Rates[0] / rhat.Rates[0]
+	r1 := comp.Rates[1] / rhat.Rates[1]
+	if math.Abs(r0-r1) > 1e-9 {
+		t.Errorf("rates not commonly rescaled: %v vs %v", r0, r1)
+	}
+	if r0 >= 1 {
+		t.Errorf("head not slowed: factor %v", r0)
+	}
+}
+
+func TestConvexAtKneeMultiExponential(t *testing.T) {
+	// A steep two-exponential head meeting a flat tail is convex; a flat
+	// head meeting a steep tail is not.
+	convex := Composite{
+		Weights: []float64{0.5, 0.5},
+		Rates:   []float64{0.1, 0.5},
+		L:       0, Beta: 0.2, Knee: 30,
+	}
+	convex.L = convex.srdValue(30) * math.Pow(30, 0.2)
+	if !convex.ConvexAtKnee() {
+		t.Error("steep head judged non-convex")
+	}
+	concave := Composite{
+		Weights: []float64{0.5, 0.5},
+		Rates:   []float64{0.0001, 0.0002},
+		L:       0, Beta: 0.9, Knee: 30,
+	}
+	concave.L = concave.srdValue(30) * math.Pow(30, 0.9)
+	if concave.ConvexAtKnee() {
+		t.Error("flat head with steep tail judged convex")
+	}
+}

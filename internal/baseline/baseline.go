@@ -1,0 +1,168 @@
+// Package baseline implements the comparison models the paper positions its
+// unified approach against:
+//
+//   - the three Fig.-17 variants — an SRD-only model (the exponential ACF
+//     head extended to all lags), an LRD-only model (a single fGn background
+//     process), and the full SRD+LRD model (which lives in package core);
+//   - the "traditional Markovian" video sources the introduction cites:
+//     DAR(1) (discrete autoregressive, Heyman et al.) and a two-state MMPP,
+//     both usable directly as queue arrival sources.
+//
+// All of these exhibit either exponentially decaying autocorrelations or a
+// pure power law; the paper's point is that neither alone reproduces the
+// queueing behaviour of real VBR video.
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"vbrsim/internal/acf"
+	"vbrsim/internal/dist"
+	"vbrsim/internal/rng"
+)
+
+// SRDOnlyBackground returns the background ACF for the paper's first Fig.-17
+// model: only the exponentially decaying SRD component, compensated for the
+// transform attenuation in the same way as eq. (14) — the rate is re-solved
+// so that the foreground correlation at the reference lag lands on
+// exp(-lambda*refLag). The returned model decays exponentially at all lags.
+func SRDOnlyBackground(lambda float64, attenuation float64, refLag int) (acf.Model, error) {
+	if lambda <= 0 {
+		return nil, errors.New("baseline: non-positive SRD rate")
+	}
+	if attenuation <= 0 || attenuation > 1 {
+		return nil, errors.New("baseline: attenuation outside (0,1]")
+	}
+	if refLag <= 0 {
+		refLag = 60
+	}
+	target := math.Exp(-lambda*float64(refLag)) / attenuation
+	if target >= 1 {
+		target = 1 - 1e-9
+	}
+	return acf.Exponential{Lambda: -math.Log(target) / float64(refLag)}, nil
+}
+
+// FGNOnlyBackground returns the background ACF for the paper's third
+// Fig.-17 model: a single fractional Gaussian noise process with the given
+// Hurst parameter and no short-term exponential component.
+func FGNOnlyBackground(h float64) (acf.Model, error) {
+	if h <= 0.5 || h >= 1 {
+		return nil, errors.New("baseline: fGn Hurst parameter must lie in (0.5, 1)")
+	}
+	return acf.FGN{H: h}, nil
+}
+
+// ---------------------------------------------------------------------------
+// DAR(1)
+
+// DAR1 is the discrete autoregressive source of order 1: with probability
+// Rho the previous frame size repeats, otherwise a fresh draw is taken from
+// the marginal. Its marginal is exact and its autocorrelation is Rho^k —
+// the canonical "traditional" VBR video model.
+type DAR1 struct {
+	// Rho is the repeat probability in [0, 1).
+	Rho float64
+	// Marginal is the frame-size distribution.
+	Marginal dist.Distribution
+}
+
+// Validate checks parameters.
+func (d DAR1) Validate() error {
+	if d.Rho < 0 || d.Rho >= 1 {
+		return errors.New("baseline: DAR1 rho must lie in [0,1)")
+	}
+	if d.Marginal == nil {
+		return errors.New("baseline: DAR1 needs a marginal")
+	}
+	return nil
+}
+
+// ACF returns the theoretical autocorrelation model Rho^k.
+func (d DAR1) ACF() acf.Model {
+	if d.Rho == 0 {
+		return acf.White{}
+	}
+	return acf.Exponential{Lambda: -math.Log(d.Rho)}
+}
+
+// ArrivalPath implements queue.PathSource.
+func (d DAR1) ArrivalPath(r *rng.Source, k int) []float64 {
+	out := make([]float64, k)
+	cur := d.Marginal.Sample(r)
+	for i := 0; i < k; i++ {
+		if i > 0 && r.Float64() >= d.Rho {
+			cur = d.Marginal.Sample(r)
+		}
+		out[i] = cur
+	}
+	return out
+}
+
+// MeanRate returns the marginal mean.
+func (d DAR1) MeanRate() float64 { return d.Marginal.Mean() }
+
+// ---------------------------------------------------------------------------
+// MMPP(2)
+
+// MMPP2 is a two-state Markov-modulated Poisson process in discrete time:
+// each slot the chain sits in state 0 or 1 and emits a Poisson count with
+// the state's rate; transitions occur at slot boundaries with probabilities
+// P01 and P10.
+type MMPP2 struct {
+	// Rate0 and Rate1 are the per-slot mean arrival counts in each state.
+	Rate0, Rate1 float64
+	// P01 is the per-slot probability of moving 0 -> 1; P10 of 1 -> 0.
+	P01, P10 float64
+}
+
+// Validate checks parameters.
+func (m MMPP2) Validate() error {
+	if m.Rate0 < 0 || m.Rate1 < 0 {
+		return errors.New("baseline: MMPP rates must be non-negative")
+	}
+	if m.P01 <= 0 || m.P01 >= 1 || m.P10 <= 0 || m.P10 >= 1 {
+		return errors.New("baseline: MMPP transition probabilities must lie in (0,1)")
+	}
+	return nil
+}
+
+// StationaryP1 returns the stationary probability of state 1.
+func (m MMPP2) StationaryP1() float64 { return m.P01 / (m.P01 + m.P10) }
+
+// MeanRate returns the stationary mean arrivals per slot.
+func (m MMPP2) MeanRate() float64 {
+	p1 := m.StationaryP1()
+	return (1-p1)*m.Rate0 + p1*m.Rate1
+}
+
+// CorrelationDecay returns the geometric decay factor of the modulating
+// chain's autocorrelation, 1 - P01 - P10.
+func (m MMPP2) CorrelationDecay() float64 { return 1 - m.P01 - m.P10 }
+
+// ArrivalPath implements queue.PathSource: the chain starts in its
+// stationary distribution.
+func (m MMPP2) ArrivalPath(r *rng.Source, k int) []float64 {
+	out := make([]float64, k)
+	state := 0
+	if r.Float64() < m.StationaryP1() {
+		state = 1
+	}
+	for i := 0; i < k; i++ {
+		rate := m.Rate0
+		if state == 1 {
+			rate = m.Rate1
+		}
+		out[i] = float64(r.Poisson(rate))
+		// Transition for the next slot.
+		if state == 0 {
+			if r.Float64() < m.P01 {
+				state = 1
+			}
+		} else if r.Float64() < m.P10 {
+			state = 0
+		}
+	}
+	return out
+}

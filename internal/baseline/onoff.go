@@ -1,0 +1,127 @@
+// ON/OFF source aggregation. Section 2 of the paper grounds self-similar
+// modeling in the Ethernet measurements of Leland et al.; the classical
+// construction behind that line of work (Willinger et al.) superposes many
+// independent ON/OFF sources whose sojourn times are heavy tailed — the
+// aggregate converges to fractional Gaussian noise with
+// H = (3 - alpha)/2. This file implements that construction both as a
+// queueing arrival source and as a generator for Hurst-estimator
+// calibration.
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"vbrsim/internal/rng"
+)
+
+// OnOff is a single ON/OFF source: it emits Rate per slot while ON, 0 while
+// OFF, with Pareto-distributed sojourn times in both states.
+type OnOff struct {
+	// Rate is the emission rate in the ON state.
+	Rate float64
+	// Alpha is the Pareto tail index of sojourn durations; alpha in (1,2)
+	// yields LRD aggregates with H = (3-alpha)/2.
+	Alpha float64
+	// MinSojourn is the minimum sojourn length in slots; default 1.
+	MinSojourn float64
+}
+
+// Validate checks parameters.
+func (o OnOff) Validate() error {
+	if o.Rate <= 0 {
+		return errors.New("baseline: ON/OFF rate must be positive")
+	}
+	if o.Alpha <= 1 || o.Alpha >= 2 {
+		return errors.New("baseline: ON/OFF alpha must lie in (1,2)")
+	}
+	if o.MinSojourn < 0 {
+		return errors.New("baseline: negative minimum sojourn")
+	}
+	return nil
+}
+
+// TargetHurst returns (3 - Alpha) / 2.
+func (o OnOff) TargetHurst() float64 { return (3 - o.Alpha) / 2 }
+
+// MeanRate returns the long-run emission rate: ON and OFF sojourns share
+// the same law, so the source is ON half the time.
+func (o OnOff) MeanRate() float64 { return o.Rate / 2 }
+
+// ArrivalPath implements queue.PathSource for a single source.
+func (o OnOff) ArrivalPath(r *rng.Source, k int) []float64 {
+	min := o.MinSojourn
+	if min <= 0 {
+		min = 1
+	}
+	out := make([]float64, k)
+	on := r.Float64() < 0.5 // stationary-ish start
+	left := int(r.Pareto(o.Alpha, min))
+	for i := 0; i < k; i++ {
+		if left <= 0 {
+			on = !on
+			left = int(r.Pareto(o.Alpha, min))
+			if left < 1 {
+				left = 1
+			}
+		}
+		if on {
+			out[i] = o.Rate
+		}
+		left--
+	}
+	return out
+}
+
+// OnOffAggregate superposes N independent ON/OFF sources — the classical
+// route to (asymptotic) fractional Gaussian noise.
+type OnOffAggregate struct {
+	Source OnOff
+	N      int
+}
+
+// Validate checks parameters.
+func (a OnOffAggregate) Validate() error {
+	if a.N <= 0 {
+		return errors.New("baseline: aggregate needs N >= 1 sources")
+	}
+	return a.Source.Validate()
+}
+
+// MeanRate returns N times the single-source mean.
+func (a OnOffAggregate) MeanRate() float64 { return float64(a.N) * a.Source.MeanRate() }
+
+// ArrivalPath sums N independent source paths.
+func (a OnOffAggregate) ArrivalPath(r *rng.Source, k int) []float64 {
+	sum := make([]float64, k)
+	for i := 0; i < a.N; i++ {
+		p := a.Source.ArrivalPath(r.Split(), k)
+		for j := range sum {
+			sum[j] += p[j]
+		}
+	}
+	return sum
+}
+
+// NormalizedPath returns one aggregate path standardized to zero mean and
+// unit variance — convenient input for Hurst estimators.
+func (a OnOffAggregate) NormalizedPath(r *rng.Source, k int) ([]float64, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	x := a.ArrivalPath(r, k)
+	var sum, sumSq float64
+	for _, v := range x {
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(k)
+	sd := math.Sqrt(sumSq/float64(k) - mean*mean)
+	if sd == 0 {
+		return nil, errors.New("baseline: degenerate aggregate path")
+	}
+	for i := range x {
+		x[i] = (x[i] - mean) / sd
+	}
+	return x, nil
+}

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"vbrsim/internal/hurst"
+	"vbrsim/internal/rng"
+	"vbrsim/internal/stats"
+)
+
+func TestOnOffValidate(t *testing.T) {
+	good := OnOff{Rate: 1, Alpha: 1.4}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid source rejected: %v", err)
+	}
+	bad := []OnOff{
+		{Rate: 0, Alpha: 1.4},
+		{Rate: 1, Alpha: 1.0},
+		{Rate: 1, Alpha: 2.0},
+		{Rate: 1, Alpha: 1.4, MinSojourn: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad source %d accepted", i)
+		}
+	}
+	if err := (OnOffAggregate{Source: good, N: 0}).Validate(); err == nil {
+		t.Error("N=0 aggregate accepted")
+	}
+}
+
+func TestOnOffPathStructure(t *testing.T) {
+	o := OnOff{Rate: 3, Alpha: 1.5, MinSojourn: 5}
+	path := o.ArrivalPath(rng.New(1), 50000)
+	onCount := 0
+	for _, v := range path {
+		if v != 0 && v != 3 {
+			t.Fatalf("value %v outside {0, Rate}", v)
+		}
+		if v == 3 {
+			onCount++
+		}
+	}
+	frac := float64(onCount) / float64(len(path))
+	// ON fraction ~ 1/2 (identical sojourn laws), loosely (LRD -> slow
+	// convergence).
+	if frac < 0.25 || frac > 0.75 {
+		t.Errorf("ON fraction = %v, want ~0.5", frac)
+	}
+	if got, want := o.MeanRate(), 1.5; got != want {
+		t.Errorf("MeanRate = %v, want %v", got, want)
+	}
+	if got := o.TargetHurst(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("TargetHurst = %v, want 0.75", got)
+	}
+}
+
+func TestOnOffAggregateConvergesToLRD(t *testing.T) {
+	agg := OnOffAggregate{Source: OnOff{Rate: 1, Alpha: 1.4, MinSojourn: 2}, N: 32}
+	x, err := agg.NormalizedPath(rng.New(3), 1<<17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := hurst.VarianceTime(x, hurst.VarianceTimeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := agg.Source.TargetHurst() // 0.8
+	if math.Abs(est.H-want) > 0.12 {
+		t.Errorf("aggregate H = %v, want ~%v", est.H, want)
+	}
+	if est.H < 0.65 {
+		t.Errorf("aggregate not LRD: H = %v", est.H)
+	}
+}
+
+func TestOnOffAggregateMoments(t *testing.T) {
+	agg := OnOffAggregate{Source: OnOff{Rate: 2, Alpha: 1.6}, N: 16}
+	path := agg.ArrivalPath(rng.New(5), 100000)
+	mean := stats.Mean(path)
+	if math.Abs(mean-agg.MeanRate()) > 0.15*agg.MeanRate() {
+		t.Errorf("aggregate mean %v, want ~%v", mean, agg.MeanRate())
+	}
+	// Aggregate of many sources is smoother than one source in relative
+	// terms.
+	one := OnOff{Rate: 2, Alpha: 1.6}.ArrivalPath(rng.New(6), 100000)
+	cv1 := stats.StdDev(one) / stats.Mean(one)
+	cvN := stats.StdDev(path) / mean
+	if cvN >= cv1 {
+		t.Errorf("aggregation did not smooth: %v vs %v", cvN, cv1)
+	}
+}
+
+func TestOnOffNormalizedPathErrors(t *testing.T) {
+	bad := OnOffAggregate{Source: OnOff{Rate: 0, Alpha: 1.4}, N: 4}
+	if _, err := bad.NormalizedPath(rng.New(1), 100); err == nil {
+		t.Error("invalid aggregate accepted")
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"vbrsim/internal/mpegtrace"
+	"vbrsim/internal/stats"
+	"vbrsim/internal/trace"
+)
+
+// testTrace generates a moderate synthetic empirical trace once per test
+// binary (the generator is deterministic).
+func testTrace(t testing.TB, frames int) *trace.Trace {
+	t.Helper()
+	tr, err := mpegtrace.Generate(mpegtrace.Config{Frames: frames, Seed: 1001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestFitRejectsShortTrace(t *testing.T) {
+	if _, err := Fit(make([]float64, 100), FitOptions{}); err == nil {
+		t.Error("short trace accepted")
+	}
+}
+
+func TestFitRejectsSRDTrace(t *testing.T) {
+	// An iid trace has H ~ 0.5 and must be rejected as not LRD.
+	sizes := make([]float64, 1<<16)
+	r := newTestRand()
+	for i := range sizes {
+		sizes[i] = 1000 + 100*r.Norm()
+	}
+	if _, err := Fit(sizes, FitOptions{}); err == nil {
+		t.Error("iid trace accepted as LRD model")
+	}
+}
+
+func TestFitPipelineOnSyntheticTrace(t *testing.T) {
+	tr := testTrace(t, 1<<17)
+	iSizes := tr.ByType(trace.FrameI)
+	m, err := Fit(iSizes, FitOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1: H in LRD territory near the generator's target 0.9.
+	if m.H < 0.7 || m.H > 1 {
+		t.Errorf("H = %v, want in (0.7, 1)", m.H)
+	}
+	// Step 2: composite fit valid and continuous with beta = 2-2H.
+	if err := m.Foreground.Validate(); err != nil {
+		t.Errorf("foreground invalid: %v", err)
+	}
+	if math.Abs(m.Foreground.Beta-(2-2*m.H)) > 1e-9 {
+		t.Errorf("beta = %v, want %v", m.Foreground.Beta, 2-2*m.H)
+	}
+	if gap := m.Foreground.ContinuityGap(); gap > 1e-9 {
+		t.Errorf("foreground continuity gap %v", gap)
+	}
+	// Step 3: attenuation in (0,1].
+	if m.Attenuation <= 0 || m.Attenuation > 1 {
+		t.Errorf("attenuation = %v", m.Attenuation)
+	}
+	// Step 4: background tail is foreground tail divided by a.
+	kt := m.Foreground.Knee
+	wantTail := m.Foreground.At(kt+100) / m.Attenuation
+	if wantTail < 1 {
+		if got := m.Background.At(kt + 100); math.Abs(got-wantTail) > 1e-9 {
+			t.Errorf("background tail %v, want %v", got, wantTail)
+		}
+	}
+	if m.MeanRate() <= 0 {
+		t.Error("non-positive mean rate")
+	}
+}
+
+func TestGenerateMatchesMarginal(t *testing.T) {
+	tr := testTrace(t, 1<<16)
+	iSizes := tr.ByType(trace.FrameI)
+	m, err := Fit(iSizes, FitOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single LRD path's sample marginal wanders (path-mean std ~ n^(H-1)
+	// in background units), so pool many replications before comparing.
+	plan, err := m.Plan(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ArrivalSource{Plan: plan, Transform: m.Transform}
+	r := newTestRand()
+	var syn []float64
+	for rep := 0; rep < 60; rep++ {
+		syn = append(syn, src.ArrivalPath(r.Split(), 2000)...)
+	}
+	// Marginal match: compare several quantiles.
+	se, err := stats.NewECDF(syn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ee, err := stats.NewECDF(iSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.25, 0.5, 0.75, 0.9} {
+		got, want := se.Quantile(p), ee.Quantile(p)
+		if math.Abs(got-want) > 0.12*want {
+			t.Errorf("quantile %v: synthetic %v vs empirical %v", p, got, want)
+		}
+	}
+	// Mean match.
+	if gm, em := stats.Mean(syn), stats.Mean(iSizes); math.Abs(gm-em) > 0.1*em {
+		t.Errorf("synthetic mean %v vs empirical %v", gm, em)
+	}
+}
+
+func TestGenerateForegroundACFMatchesTarget(t *testing.T) {
+	// The whole point of Steps 3-4: the generated foreground ACF must land
+	// on the fitted (uncompensated) foreground target.
+	tr := testTrace(t, 1<<16)
+	iSizes := tr.ByType(trace.FrameI)
+	m, err := Fit(iSizes, FitOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool several generated paths.
+	const n, reps = 2000, 12
+	maxLag := 300
+	pooled := make([]float64, maxLag+1)
+	for rep := 0; rep < reps; rep++ {
+		syn, err := m.Generate(n, uint64(1000+rep), BackendHosking)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := stats.AutocovarianceKnownMean(syn, m.MeanRate(), maxLag)
+		for k := range pooled {
+			pooled[k] += a[k]
+		}
+	}
+	for _, k := range []int{5, 20, m.Foreground.Knee, 150, 300} {
+		got := pooled[k] / pooled[0]
+		want := m.Foreground.At(k)
+		if math.Abs(got-want) > 0.1 {
+			t.Errorf("foreground acf[%d] = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestGenerateBackends(t *testing.T) {
+	tr := testTrace(t, 1<<16)
+	m, err := Fit(tr.ByType(trace.FrameI), FitOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		backend Backend
+		n       int
+	}{
+		{BackendHosking, 1000},
+		{BackendDaviesHarte, 1000},
+		{BackendAuto, 1000},  // -> Hosking
+		{BackendAuto, 10000}, // -> Davies-Harte
+	} {
+		syn, err := m.Generate(tc.n, 5, tc.backend)
+		if err != nil {
+			t.Fatalf("backend %v n %d: %v", tc.backend, tc.n, err)
+		}
+		if len(syn) != tc.n {
+			t.Fatalf("backend %v: len %d", tc.backend, len(syn))
+		}
+		for i, v := range syn {
+			if v < 0 {
+				t.Fatalf("backend %v: negative size at %d", tc.backend, i)
+			}
+		}
+	}
+}
+
+func TestFitGOPAndGenerate(t *testing.T) {
+	tr := testTrace(t, 1<<17)
+	g, err := FitGOP(tr, FitOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.KI != 12 {
+		t.Errorf("KI = %d, want 12", g.KI)
+	}
+	if len(g.GOP) != 12 || g.GOP[0] != trace.FrameI {
+		t.Errorf("GOP pattern = %v", g.GOP)
+	}
+	syn, err := g.Generate(6000, 11, BackendHosking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.Len() != 6000 {
+		t.Fatalf("generated %d frames", syn.Len())
+	}
+	// GOP structure preserved.
+	for i := 0; i < 48; i++ {
+		if syn.Types[i] != tr.Types[i%12] {
+			t.Fatalf("GOP type mismatch at %d", i)
+		}
+	}
+	// Frame-type size ordering matches the input trace.
+	mi := stats.Mean(syn.ByType(trace.FrameI))
+	mp := stats.Mean(syn.ByType(trace.FrameP))
+	mb := stats.Mean(syn.ByType(trace.FrameB))
+	if !(mi > mp && mp > mb) {
+		t.Errorf("synthetic ordering I=%v P=%v B=%v", mi, mp, mb)
+	}
+	// Per-type means match the empirical per-type means.
+	for _, tc := range []struct {
+		ft trace.FrameType
+		m  float64
+	}{{trace.FrameI, mi}, {trace.FrameP, mp}, {trace.FrameB, mb}} {
+		want := stats.Mean(tr.ByType(tc.ft))
+		if math.Abs(tc.m-want) > 0.15*want {
+			t.Errorf("%v mean %v vs empirical %v", tc.ft, tc.m, want)
+		}
+	}
+	// Composite mean rate consistent.
+	wholeMean := stats.Mean(syn.Sizes)
+	if math.Abs(g.MeanRate()-wholeMean) > 0.15*wholeMean {
+		t.Errorf("MeanRate %v vs generated mean %v", g.MeanRate(), wholeMean)
+	}
+}
+
+func TestGeneratedGOPACFOscillates(t *testing.T) {
+	tr := testTrace(t, 1<<17)
+	g, err := FitGOP(tr, FitOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := g.Generate(20000, 13, BackendDaviesHarte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := stats.Autocorrelation(syn.Sizes, 24)
+	// GOP periodicity: multiples of 12 carry more correlation than
+	// mid-GOP lags, as in Figs. 9-11.
+	if a[12] <= a[6] || a[24] <= a[18] {
+		t.Errorf("no GOP oscillation: acf[6..24] = %v", a[6:])
+	}
+}
+
+func TestFitGOPValidation(t *testing.T) {
+	if _, err := FitGOP(&trace.Trace{Sizes: []float64{1, 2, 3}}, FitOptions{}); err == nil {
+		t.Error("untyped trace accepted")
+	}
+	small, err := mpegtrace.Generate(mpegtrace.Config{Frames: 600, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FitGOP(small, FitOptions{}); err == nil {
+		t.Error("trace with too few I frames accepted")
+	}
+}
+
+func TestArrivalSource(t *testing.T) {
+	tr := testTrace(t, 1<<16)
+	m, err := Fit(tr.ByType(trace.FrameI), FitOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := m.Plan(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ArrivalSource{Plan: plan, Transform: m.Transform}
+	path := src.ArrivalPath(newTestRand(), 200)
+	if len(path) != 200 {
+		t.Fatalf("path len %d", len(path))
+	}
+	for _, v := range path {
+		if v < 0 {
+			t.Fatal("negative arrival")
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package core
+
+import "vbrsim/internal/rng"
+
+// newTestRand returns a fixed-seed random source for tests.
+func newTestRand() *rng.Source { return rng.New(12345) }

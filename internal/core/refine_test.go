@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"vbrsim/internal/trace"
+)
+
+func TestRefineReducesErrorFromUncompensatedStart(t *testing.T) {
+	tr := testTrace(t, 1<<16)
+	m, err := Fit(tr.ByType(trace.FrameI), FitOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: start from the UNcompensated background (as if Step 4 had
+	// been skipped, attenuation left uncorrected).
+	m.Background = m.Foreground
+
+	res, err := m.Refine(RefineOptions{Rounds: 3, Replications: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) < 2 {
+		t.Fatalf("too few rounds recorded: %v", res.Errors)
+	}
+	if res.Errors[res.Best] > res.Errors[0] {
+		t.Errorf("refinement made things worse: %v", res.Errors)
+	}
+	// The installed background matches the best round.
+	if m.Background.L != res.Backgrounds[res.Best].L {
+		t.Error("best background not installed")
+	}
+	// The refined background must remain a valid generatable model.
+	if _, err := m.Plan(300); err != nil {
+		t.Errorf("refined background not positive definite: %v", err)
+	}
+}
+
+func TestRefineStableNearOptimum(t *testing.T) {
+	// Starting from the Step-4 compensated background, refinement must not
+	// blow the error up (the fixed point is near the start).
+	tr := testTrace(t, 1<<16)
+	m, err := Fit(tr.ByType(trace.FrameI), FitOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Background
+	res, err := m.Refine(RefineOptions{Rounds: 2, Replications: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error at the chosen background is within noise of the starting error.
+	if res.Errors[res.Best] > res.Errors[0]*1.05+0.01 {
+		t.Errorf("refinement degraded a good start: %v", res.Errors)
+	}
+	// Tail level moved only moderately.
+	ratio := m.Background.L / before.L
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("refined L moved by %vx from a good start", ratio)
+	}
+}
+
+func TestRefineTrajectoryBookkeeping(t *testing.T) {
+	tr := testTrace(t, 1<<16)
+	m, err := Fit(tr.ByType(trace.FrameI), FitOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Refine(RefineOptions{Rounds: 2, Replications: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Backgrounds) != len(res.Errors) {
+		t.Fatalf("trajectory lengths differ: %d vs %d", len(res.Backgrounds), len(res.Errors))
+	}
+	if res.Best < 0 || res.Best >= len(res.Errors) {
+		t.Fatalf("best index %d out of range", res.Best)
+	}
+	for i, bg := range res.Backgrounds {
+		if err := bg.Validate(); err != nil {
+			t.Errorf("round %d background invalid: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Additional marginals: Weibull (the tail family of the Norros overflow
+// law, and a common fit for low-activity video) and finite mixtures (for
+// bimodal marginals such as a combined I/P/B frame population — the shape
+// the paper's composite model handles with per-type transforms instead).
+package dist
+
+import (
+	"errors"
+	"math"
+
+	"vbrsim/internal/rng"
+)
+
+// Weibull has CDF 1 - exp(-(x/Scale)^Shape) for x >= 0.
+type Weibull struct {
+	Shape float64
+	Scale float64
+}
+
+// CDF returns the Weibull CDF.
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/w.Scale, w.Shape))
+}
+
+// Quantile returns Scale * (-ln(1-p))^(1/Shape).
+func (w Weibull) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return w.Scale * math.Pow(-math.Log1p(-p), 1/w.Shape)
+}
+
+// Sample draws by inversion.
+func (w Weibull) Sample(r *rng.Source) float64 { return w.Quantile(r.OpenFloat64()) }
+
+// Mean returns Scale * Gamma(1 + 1/Shape).
+func (w Weibull) Mean() float64 {
+	g, _ := math.Lgamma(1 + 1/w.Shape)
+	return w.Scale * math.Exp(g)
+}
+
+// Mixture is a finite mixture of component distributions with
+// probability weights. The zero value is not usable; construct with
+// NewMixture, which validates and normalizes the weights.
+type Mixture struct {
+	components []Distribution
+	weights    []float64
+	mean       float64
+	lo, hi     float64 // quantile search bracket
+}
+
+// NewMixture builds a mixture. Weights must be positive; they are
+// normalized to sum to 1.
+func NewMixture(components []Distribution, weights []float64) (*Mixture, error) {
+	if len(components) == 0 || len(components) != len(weights) {
+		return nil, errors.New("dist: mixture needs matching non-empty components and weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w <= 0 {
+			return nil, errors.New("dist: mixture weights must be positive")
+		}
+		total += w
+	}
+	m := &Mixture{
+		components: append([]Distribution(nil), components...),
+		weights:    make([]float64, len(weights)),
+	}
+	for i, w := range weights {
+		m.weights[i] = w / total
+	}
+	for i, c := range m.components {
+		cm := c.Mean()
+		if math.IsInf(cm, 1) {
+			m.mean = math.Inf(1)
+		} else if !math.IsInf(m.mean, 1) {
+			m.mean += m.weights[i] * cm
+		}
+	}
+	// Quantile bracket: span the components' 1e-9 and 1-1e-9 quantiles.
+	m.lo, m.hi = math.Inf(1), math.Inf(-1)
+	for _, c := range m.components {
+		if q := c.Quantile(1e-9); q < m.lo {
+			m.lo = q
+		}
+		if q := c.Quantile(1 - 1e-9); q > m.hi && !math.IsInf(q, 1) {
+			m.hi = q
+		}
+	}
+	if math.IsInf(m.lo, 1) {
+		m.lo = 0
+	}
+	if math.IsInf(m.hi, -1) || m.hi <= m.lo {
+		m.hi = m.lo + 1
+	}
+	return m, nil
+}
+
+// CDF returns the weighted component CDF.
+func (m *Mixture) CDF(x float64) float64 {
+	var s float64
+	for i, c := range m.components {
+		s += m.weights[i] * c.CDF(x)
+	}
+	return s
+}
+
+// Quantile inverts the mixture CDF by bisection (the CDF is monotone).
+func (m *Mixture) Quantile(p float64) float64 {
+	if p <= 0 {
+		return m.lo
+	}
+	if p >= 1 {
+		return m.hi
+	}
+	lo, hi := m.lo, m.hi
+	// Expand the bracket if the requested mass lies outside it.
+	for m.CDF(hi) < p && !math.IsInf(hi, 1) {
+		hi = lo + 2*(hi-lo) + 1
+	}
+	for m.CDF(lo) > p {
+		lo = hi - 2*(hi-lo) - 1
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if m.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Sample picks a component by weight and samples it.
+func (m *Mixture) Sample(r *rng.Source) float64 {
+	u := r.Float64()
+	var acc float64
+	for i, w := range m.weights {
+		acc += w
+		if u < acc {
+			return m.components[i].Sample(r)
+		}
+	}
+	return m.components[len(m.components)-1].Sample(r)
+}
+
+// Mean returns the weighted component mean.
+func (m *Mixture) Mean() float64 { return m.mean }

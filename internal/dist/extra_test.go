@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"vbrsim/internal/rng"
+)
+
+func TestWeibullSpecialCases(t *testing.T) {
+	// Shape 1 is exponential.
+	w := Weibull{Shape: 1, Scale: 2}
+	e := Exponential{Lambda: 0.5}
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		if math.Abs(w.CDF(x)-e.CDF(x)) > 1e-12 {
+			t.Errorf("Weibull(1,2).CDF(%v) = %v, want %v", x, w.CDF(x), e.CDF(x))
+		}
+	}
+	if math.Abs(w.Mean()-2) > 1e-12 {
+		t.Errorf("Weibull(1,2) mean = %v, want 2", w.Mean())
+	}
+}
+
+func TestWeibullRoundTripAndSample(t *testing.T) {
+	w := Weibull{Shape: 0.7, Scale: 1000} // sub-exponential tail, video-like
+	for _, p := range []float64{0.01, 0.3, 0.9, 0.999} {
+		if back := w.CDF(w.Quantile(p)); math.Abs(back-p) > 1e-12 {
+			t.Errorf("round trip p=%v got %v", p, back)
+		}
+	}
+	r := rng.New(1)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += w.Sample(r)
+	}
+	if got := sum / n; math.Abs(got-w.Mean()) > 0.03*w.Mean() {
+		t.Errorf("sample mean %v, want %v", got, w.Mean())
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Error("empty mixture accepted")
+	}
+	if _, err := NewMixture([]Distribution{StdNormal}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewMixture([]Distribution{StdNormal}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestMixtureBimodal(t *testing.T) {
+	// An I/B-like bimodal population: small B frames and large I frames.
+	m, err := NewMixture(
+		[]Distribution{
+			Gamma{Shape: 4, Scale: 300},  // B-ish, mean 1200
+			Gamma{Shape: 6, Scale: 1500}, // I-ish, mean 9000
+		},
+		[]float64{0.75, 0.25},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 0.75*1200 + 0.25*9000
+	if math.Abs(m.Mean()-wantMean) > 1e-9 {
+		t.Errorf("mixture mean %v, want %v", m.Mean(), wantMean)
+	}
+	// CDF is the weighted average at any point.
+	x := 3000.0
+	want := 0.75*(Gamma{Shape: 4, Scale: 300}).CDF(x) + 0.25*(Gamma{Shape: 6, Scale: 1500}).CDF(x)
+	if math.Abs(m.CDF(x)-want) > 1e-12 {
+		t.Errorf("mixture CDF(%v) = %v, want %v", x, m.CDF(x), want)
+	}
+	// Quantile round trip.
+	for _, p := range []float64{0.05, 0.5, 0.74, 0.76, 0.95} {
+		q := m.Quantile(p)
+		if back := m.CDF(q); math.Abs(back-p) > 1e-9 {
+			t.Errorf("quantile round trip p=%v got %v", p, back)
+		}
+	}
+	// Sampling matches moments.
+	r := rng.New(2)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += m.Sample(r)
+	}
+	if got := sum / n; math.Abs(got-wantMean) > 0.03*wantMean {
+		t.Errorf("mixture sample mean %v, want %v", got, wantMean)
+	}
+}
+
+func TestMixtureQuantileMonotone(t *testing.T) {
+	m, err := NewMixture(
+		[]Distribution{Normal{Mu: -5, Sigma: 1}, Normal{Mu: 5, Sigma: 1}},
+		[]float64{0.5, 0.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(-1)
+	for p := 0.001; p < 1; p += 0.003 {
+		q := m.Quantile(p)
+		if q < prev {
+			t.Fatalf("mixture quantile not monotone at p=%v", p)
+		}
+		prev = q
+	}
+}
+
+func TestMixtureWithInfiniteMeanComponent(t *testing.T) {
+	m, err := NewMixture(
+		[]Distribution{Gamma{Shape: 2, Scale: 1}, Pareto{Alpha: 0.8, Xm: 1}},
+		[]float64{0.9, 0.1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(m.Mean(), 1) {
+		t.Errorf("mixture with infinite-mean component has mean %v", m.Mean())
+	}
+}
+
+func TestMixtureAsTransformTarget(t *testing.T) {
+	// A mixture must behave as a foreground marginal: monotone quantiles
+	// usable in histogram inversion.
+	m, err := NewMixture(
+		[]Distribution{Lognormal{Mu: 6, Sigma: 0.4}, Lognormal{Mu: 9, Sigma: 0.3}},
+		[]float64{0.8, 0.2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Distribution = m // compile-time interface check
+	if d.Quantile(0.5) <= 0 {
+		t.Error("mixture quantile non-positive")
+	}
+}

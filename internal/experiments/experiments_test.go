@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickLab returns a lab sized for fast tests; artifacts are cached across
+// calls within one test binary.
+var sharedLab = NewLab(Config{Quick: true, Seed: 99})
+
+func TestIDsCoverPaperExhibits(t *testing.T) {
+	ids := sharedLab.IDs()
+	want := []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9to11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "extnorros"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("ids[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := sharedLab.Run("fig99"); err == nil {
+		t.Error("unknown exhibit accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := sharedLab.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Notes) < 5 {
+		t.Errorf("Table1 notes = %v", r.Notes)
+	}
+}
+
+func TestFig1HistogramSumsToOne(t *testing.T) {
+	r, err := sharedLab.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, f := range r.Series[0].Y {
+		sum += f
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Errorf("histogram mass = %v", sum)
+	}
+}
+
+func TestFig2TransformMonotone(t *testing.T) {
+	r, err := sharedLab.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := r.Series[0].Y
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] {
+			t.Fatalf("transform not monotone at %d", i)
+		}
+	}
+}
+
+func TestFig3And4HurstEstimates(t *testing.T) {
+	r3, err := sharedLab.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := sharedLab.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r3.Series) != 2 || len(r4.Series) != 2 {
+		t.Error("VT/RS exhibits need points + fit series")
+	}
+	m, err := sharedLab.IModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.H < 0.7 || m.H >= 1 {
+		t.Errorf("combined H = %v, want LRD range", m.H)
+	}
+}
+
+func TestFig5Through8ACFSeries(t *testing.T) {
+	for _, run := range []func() (*Result, error){
+		sharedLab.Fig5, sharedLab.Fig6, sharedLab.Fig7, sharedLab.Fig8,
+	} {
+		r, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Series) == 0 || len(r.Series[0].X) == 0 {
+			t.Errorf("%s: empty series", r.ID)
+		}
+		for _, s := range r.Series {
+			if len(s.X) != len(s.Y) {
+				t.Errorf("%s/%s: X/Y length mismatch", r.ID, s.Name)
+			}
+		}
+	}
+}
+
+func TestFig8MatchQuality(t *testing.T) {
+	r, err := sharedLab.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical and simulated ACF must track each other: mean absolute
+	// error below 0.12 over the plotted lags.
+	emp, sim := r.Series[0].Y, r.Series[1].Y
+	n := len(emp)
+	if len(sim) < n {
+		n = len(sim)
+	}
+	var mae float64
+	for i := 0; i < n; i++ {
+		mae += math.Abs(emp[i] - sim[i])
+	}
+	mae /= float64(n)
+	if mae > 0.12 {
+		t.Errorf("fig8 mean ACF error = %v", mae)
+	}
+}
+
+func TestFig9to11GOPOscillation(t *testing.T) {
+	r, err := sharedLab.Fig9to11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		// Both series must show the GOP periodicity: lag 12 above lag 6.
+		var a6, a12 float64
+		for i, x := range s.X {
+			if x == 6 {
+				a6 = s.Y[i]
+			}
+			if x == 12 {
+				a12 = s.Y[i]
+			}
+		}
+		if a12 <= a6 {
+			t.Errorf("%s: no GOP oscillation (acf6=%v acf12=%v)", s.Name, a6, a12)
+		}
+	}
+}
+
+func TestFig12TotalVariationSmall(t *testing.T) {
+	r, err := sharedLab.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatal("need two histograms")
+	}
+	var tv float64
+	for i := range r.Series[0].Y {
+		tv += math.Abs(r.Series[0].Y[i] - r.Series[1].Y[i])
+	}
+	tv /= 2
+	if tv > 0.15 {
+		t.Errorf("marginal TV distance = %v, want < 0.15", tv)
+	}
+}
+
+func TestFig13QQNearDiagonal(t *testing.T) {
+	r, err := sharedLab.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe, qs := r.Series[0].X, r.Series[0].Y
+	var rel float64
+	n := 0
+	for i := len(qe) / 10; i < len(qe)*9/10; i++ {
+		if qe[i] > 0 {
+			rel += math.Abs(qs[i]-qe[i]) / qe[i]
+			n++
+		}
+	}
+	rel /= float64(n)
+	if rel > 0.2 {
+		t.Errorf("Q-Q relative deviation = %v, want < 0.2", rel)
+	}
+}
+
+func TestFig14ValleyExists(t *testing.T) {
+	r, err := sharedLab.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Series[0]
+	if len(s.X) < 3 {
+		t.Fatal("too few twist candidates")
+	}
+	// The normalized variance at the best twist must undercut the worst by
+	// a substantial factor (the "valley").
+	minV, maxV := math.Inf(1), 0.0
+	for _, v := range s.Y {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if !(minV < maxV/2) {
+		t.Errorf("no valley: min %v max %v", minV, maxV)
+	}
+}
+
+func TestFig15InitialConditionsConverge(t *testing.T) {
+	r, err := sharedLab.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, full := r.Series[0].Y, r.Series[1].Y
+	last := len(empty) - 1
+	// Full-buffer start must dominate early.
+	if full[0] < empty[0] {
+		t.Errorf("full start %v below empty start %v at first checkpoint", full[0], empty[0])
+	}
+	// The two curves converge: final gap smaller than initial gap.
+	if math.Abs(full[last]-empty[last]) > math.Abs(full[0]-empty[0])+0.1 {
+		t.Errorf("transient curves did not converge: first gap %v, last gap %v",
+			full[0]-empty[0], full[last]-empty[last])
+	}
+}
+
+func TestFig16Shapes(t *testing.T) {
+	r, err := sharedLab.Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per utilization there are two series (simulation, trace). Overflow
+	// must (weakly) decrease with buffer size in every simulation series.
+	for _, s := range r.Series {
+		if !strings.HasPrefix(s.Name, "simulation") {
+			continue
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+0.35 {
+				t.Errorf("%s: overflow increased with buffer: %v", s.Name, s.Y)
+				break
+			}
+		}
+	}
+	// Higher utilization must mean higher loss at the same buffer.
+	var low, high []float64
+	for _, s := range r.Series {
+		if s.Name == "simulation util=0.4 (log10 P)" {
+			low = s.Y
+		}
+		if s.Name == "simulation util=0.8 (log10 P)" {
+			high = s.Y
+		}
+	}
+	if low == nil || high == nil {
+		t.Fatalf("missing utilization series: %v", seriesNames(r))
+	}
+	for i := range low {
+		if high[i] < low[i]-0.2 {
+			t.Errorf("util ordering violated at point %d: %v vs %v", i, high[i], low[i])
+		}
+	}
+}
+
+func seriesNames(r *Result) []string {
+	var out []string
+	for _, s := range r.Series {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+func TestFig17ModelOrdering(t *testing.T) {
+	r, err := sharedLab.Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full, srd []float64
+	for _, s := range r.Series {
+		if strings.HasPrefix(s.Name, "SRD+LRD") {
+			full = s.Y
+		}
+		if strings.HasPrefix(s.Name, "SRD only") {
+			srd = s.Y
+		}
+	}
+	if full == nil || srd == nil {
+		t.Fatalf("missing series: %v", seriesNames(r))
+	}
+	// At the largest buffer the SRD-only model must underestimate loss
+	// relative to the full model (log10 scale).
+	last := len(full) - 1
+	if srd[last] > full[last]+0.2 {
+		t.Errorf("SRD-only (%v) does not decay faster than SRD+LRD (%v) at large b",
+			srd[last], full[last])
+	}
+}
+
+func TestFullScaleLabSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale lab in -short mode")
+	}
+	// Exercise the non-quick parameter branches on the cheap exhibits.
+	lab := NewLab(Config{Seed: 500, TraceFrames: 1 << 16, Replications: 100})
+	for _, id := range []string{"fig5", "fig7", "fig14"} {
+		res, err := lab.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Series) == 0 {
+			t.Errorf("%s: no series", id)
+		}
+	}
+	m, err := lab.IModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Attenuation <= 0 || m.Attenuation > 1 {
+		t.Errorf("full-scale attenuation %v", m.Attenuation)
+	}
+}
+
+func TestExtNorrosShapes(t *testing.T) {
+	r, err := sharedLab.ExtNorros()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("series: %v", seriesNames(r))
+	}
+	// Both curves decrease in b.
+	for _, s := range r.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+0.3 {
+				t.Errorf("%s not decreasing: %v", s.Name, s.Y)
+				break
+			}
+		}
+	}
+}
+
+func TestWriteData(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", Series: []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{3, 4}}}}
+	r.AddNote("hello %d", 7)
+	var buf bytes.Buffer
+	if err := r.WriteData(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# x: t", "# note: hello 7", "# series: s", "1\t3", "2\t4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteData output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package farima
+
+import (
+	"math"
+	"testing"
+
+	"vbrsim/internal/rng"
+	"vbrsim/internal/stats"
+)
+
+func TestFullValidation(t *testing.T) {
+	bad := []struct{ phi, d, theta float64 }{
+		{1.0, 0.3, 0},
+		{0, 0.3, -1.0},
+		{0, 0.5, 0},
+		{0, -0.5, 0},
+	}
+	for i, tc := range bad {
+		if _, err := NewFull(tc.phi, tc.d, tc.theta); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if _, err := NewFull(0.5, 0.3, -0.4); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestFullReducesToPureFractional(t *testing.T) {
+	// phi = theta = 0 must match the closed-form FARIMA(0,d,0) ACF.
+	for _, d := range []float64{0.2, 0.4, -0.2} {
+		full, err := NewFull(0, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := ACF{D: d}
+		for _, k := range []int{1, 2, 5, 20, 100, 1000, 4000} {
+			got := full.At(k)
+			want := exact.At(k)
+			if math.Abs(got-want) > 2e-3 {
+				t.Errorf("d=%v lag %d: %v vs exact %v", d, k, got, want)
+			}
+		}
+	}
+}
+
+func TestFullReducesToAR1(t *testing.T) {
+	// d = theta = 0 is AR(1): rho(k) = phi^k.
+	phi := 0.7
+	full, err := NewFull(phi, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 10; k++ {
+		want := math.Pow(phi, float64(k))
+		if got := full.At(k); math.Abs(got-want) > 1e-6 {
+			t.Errorf("AR(1) lag %d: %v vs %v", k, got, want)
+		}
+	}
+}
+
+func TestFullReducesToMA1(t *testing.T) {
+	// phi = d = 0 is MA(1): rho(1) = theta/(1+theta^2), rho(k>1) = 0.
+	theta := 0.6
+	full, err := NewFull(0, 0, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := theta / (1 + theta*theta)
+	if got := full.At(1); math.Abs(got-want1) > 1e-9 {
+		t.Errorf("MA(1) lag 1: %v vs %v", got, want1)
+	}
+	for k := 2; k <= 5; k++ {
+		if got := full.At(k); math.Abs(got) > 1e-9 {
+			t.Errorf("MA(1) lag %d: %v, want 0", k, got)
+		}
+	}
+}
+
+func TestFullSRDPlusLRDShape(t *testing.T) {
+	// FARIMA(1,d,0) with positive phi: faster early decay than pure
+	// fractional... actually AR adds positive short-range correlation on
+	// top. Check lag-1 is boosted and the far tail keeps the pure
+	// fractional exponent.
+	d := 0.3
+	pure, err := NewFull(0, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := NewFull(0.6, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.At(1) <= pure.At(1) {
+		t.Errorf("AR part did not raise short-lag correlation: %v vs %v", mixed.At(1), pure.At(1))
+	}
+	// Tail exponent: rho(2k)/rho(k) -> 2^{2d-1} for both.
+	want := math.Pow(2, 2*d-1)
+	for _, f := range []*Full{pure, mixed} {
+		ratio := f.At(4000) / f.At(2000)
+		if math.Abs(ratio-want) > 0.02 {
+			t.Errorf("tail ratio %v, want %v", ratio, want)
+		}
+	}
+	if mixed.Hurst() != 0.8 {
+		t.Errorf("Hurst = %v, want 0.8", mixed.Hurst())
+	}
+}
+
+func TestFullGenerationMatchesACF(t *testing.T) {
+	full, err := NewFull(0.5, 0.3, -0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := full.Plan(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	pooled := make([]float64, 21)
+	for rep := 0; rep < 300; rep++ {
+		x := plan.Path(r, 600)
+		a := stats.AutocovarianceKnownMean(x, 0, 20)
+		for k := range pooled {
+			pooled[k] += a[k]
+		}
+	}
+	for k := 1; k <= 20; k++ {
+		got := pooled[k] / pooled[0]
+		want := full.At(k)
+		if math.Abs(got-want) > 0.04 {
+			t.Errorf("generated acf[%d] = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestFitFullRecoversKnownModel(t *testing.T) {
+	truth, err := NewFull(0.5, 0.3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empirical := make([]float64, 201)
+	for k := range empirical {
+		empirical[k] = truth.At(k)
+	}
+	got, sse, err := FitFull(empirical, FitFullOptions{D: 0.3, MaxLag: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sse > 1e-3 {
+		t.Errorf("fit SSE = %v", sse)
+	}
+	if math.Abs(got.Phi-0.5) > 0.11 {
+		t.Errorf("phi = %v, want ~0.5", got.Phi)
+	}
+	if math.Abs(got.Theta) > 0.11 {
+		t.Errorf("theta = %v, want ~0", got.Theta)
+	}
+}
+
+func TestFitFullValidation(t *testing.T) {
+	emp := make([]float64, 50)
+	if _, _, err := FitFull(emp, FitFullOptions{D: 0.7}); err == nil {
+		t.Error("bad d accepted")
+	}
+	if _, _, err := FitFull(emp[:3], FitFullOptions{D: 0.3}); err == nil {
+		t.Error("tiny ACF accepted")
+	}
+}
+
+func BenchmarkFullPrepare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := &Full{Phi: 0.5, D: 0.3, Theta: -0.2}
+		f.prepare()
+	}
+}

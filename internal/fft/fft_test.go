@@ -1,0 +1,285 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"vbrsim/internal/rng"
+)
+
+// naiveDFT computes the unnormalized DFT directly, O(n^2).
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Rect(1, angle)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Norm(), r.Norm())
+		}
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		if err := Forward(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: bin %d: got %v want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	r := rng.New(2)
+	for _, n := range []int{2, 8, 128, 1024} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Norm(), r.Norm())
+		}
+		y := append([]complex128(nil), x...)
+		if err := Forward(y); err != nil {
+			t.Fatal(err)
+		}
+		if err := Inverse(y); err != nil {
+			t.Fatal(err)
+		}
+		for i := range y {
+			if cmplx.Abs(y[i]-x[i]) > 1e-10*float64(n) {
+				t.Fatalf("n=%d: round trip failed at %d: got %v want %v", n, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	r := rng.New(3)
+	n := 512
+	x := make([]complex128, n)
+	var timeEnergy float64
+	for i := range x {
+		x[i] = complex(r.Norm(), 0)
+		timeEnergy += real(x[i]) * real(x[i])
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqEnergy float64
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-8*timeEnergy {
+		t.Fatalf("Parseval violated: time %v freq %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestNonPowerOfTwoRejected(t *testing.T) {
+	x := make([]complex128, 12)
+	if err := Forward(x); err != ErrNotPowerOfTwo {
+		t.Fatalf("Forward on n=12: got %v, want ErrNotPowerOfTwo", err)
+	}
+	if err := Inverse(x); err != ErrNotPowerOfTwo {
+		t.Fatalf("Inverse on n=12: got %v, want ErrNotPowerOfTwo", err)
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPowerOfTwo(in); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// naiveAutocov computes the biased autocovariance directly.
+func naiveAutocov(x []float64, maxLag int) []float64 {
+	n := len(x)
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	out := make([]float64, maxLag+1)
+	for k := 0; k <= maxLag; k++ {
+		var s float64
+		for i := 0; i+k < n; i++ {
+			s += (x[i] - mean) * (x[i+k] - mean)
+		}
+		out[k] = s / float64(n)
+	}
+	return out
+}
+
+func TestAutocovarianceMatchesNaive(t *testing.T) {
+	r := rng.New(4)
+	for _, n := range []int{10, 100, 777} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Norm() + 3
+		}
+		maxLag := n / 3
+		want := naiveAutocov(x, maxLag)
+		got := Autocovariance(x, maxLag)
+		for k := range want {
+			if math.Abs(got[k]-want[k]) > 1e-9 {
+				t.Fatalf("n=%d lag=%d: got %v want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestAutocorrelationLagZeroIsOne(t *testing.T) {
+	r := rng.New(5)
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	acf := Autocorrelation(x, 20)
+	if math.Abs(acf[0]-1) > 1e-12 {
+		t.Fatalf("acf[0] = %v, want 1", acf[0])
+	}
+	for k, v := range acf {
+		if math.Abs(v) > 1+1e-12 {
+			t.Fatalf("acf[%d] = %v outside [-1,1]", k, v)
+		}
+	}
+}
+
+func TestAutocorrelationConstantSeries(t *testing.T) {
+	x := []float64{5, 5, 5, 5, 5}
+	acf := Autocorrelation(x, 3)
+	if acf[0] != 1 {
+		t.Fatalf("constant series acf[0] = %v, want 1", acf[0])
+	}
+	for k := 1; k < len(acf); k++ {
+		if acf[k] != 0 {
+			t.Fatalf("constant series acf[%d] = %v, want 0", k, acf[k])
+		}
+	}
+}
+
+func TestAutocovarianceEdgeCases(t *testing.T) {
+	if got := Autocovariance(nil, 5); got != nil {
+		t.Fatalf("nil input: got %v", got)
+	}
+	got := Autocovariance([]float64{1, 2}, 10)
+	if len(got) != 2 {
+		t.Fatalf("maxLag clamping: got len %d, want 2", len(got))
+	}
+}
+
+func TestAutocorrelationAR1Recovery(t *testing.T) {
+	// An AR(1) process with coefficient phi has acf phi^k.
+	r := rng.New(6)
+	phi := 0.7
+	n := 200000
+	x := make([]float64, n)
+	x[0] = r.Norm()
+	scale := math.Sqrt(1 - phi*phi)
+	for i := 1; i < n; i++ {
+		x[i] = phi*x[i-1] + scale*r.Norm()
+	}
+	acf := Autocorrelation(x, 5)
+	for k := 1; k <= 5; k++ {
+		want := math.Pow(phi, float64(k))
+		if math.Abs(acf[k]-want) > 0.02 {
+			t.Errorf("AR(1) acf[%d] = %v, want %v", k, acf[k], want)
+		}
+	}
+}
+
+func TestPeriodogramWhiteNoiseFlat(t *testing.T) {
+	r := rng.New(7)
+	n := 4096
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	freqs, intens := Periodogram(x)
+	if len(freqs) != len(intens) || len(freqs) == 0 {
+		t.Fatalf("periodogram lengths: %d vs %d", len(freqs), len(intens))
+	}
+	// Mean intensity of white noise should be sigma^2/(2*pi) ~ 0.159.
+	var mean float64
+	for _, v := range intens {
+		mean += v
+	}
+	mean /= float64(len(intens))
+	want := 1 / (2 * math.Pi)
+	if math.Abs(mean-want) > 0.15*want {
+		t.Errorf("white-noise periodogram mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestQuickLinearity(t *testing.T) {
+	// DFT(a*x + y) == a*DFT(x) + DFT(y).
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 64
+		a := complex(r.Norm(), 0)
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Norm(), r.Norm())
+			y[i] = complex(r.Norm(), r.Norm())
+			sum[i] = a*x[i] + y[i]
+		}
+		if Forward(x) != nil || Forward(y) != nil || Forward(sum) != nil {
+			return false
+		}
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(a*x[i]+y[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkForward4096(b *testing.B) {
+	r := rng.New(1)
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(r.Norm(), 0)
+	}
+	work := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, x)
+		if err := Forward(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAutocovariance65536(b *testing.B) {
+	r := rng.New(1)
+	x := make([]float64, 65536)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Autocovariance(x, 500)
+	}
+}

@@ -1,0 +1,247 @@
+// Package hosking implements Hosking's method (Durbin–Levinson conditional
+// sampling) for generating exact sample paths of a stationary zero-mean
+// unit-variance Gaussian process with an arbitrary autocorrelation function,
+// as described in Section 2 of the paper.
+//
+// The regression coefficients phi_{k,j} and the conditional variances v_k
+// depend only on the autocorrelation, not on the sampled path, so they are
+// precomputed once into a Plan and shared — read-only — by any number of
+// concurrent replications. This removes the dominant recurring cost of the
+// paper's simulation loop (the paper notes that "the generation of self
+// similar traffic using Hosking's method is computationally quite
+// demanding").
+//
+// The Plan also exposes the per-step conditional means and variances, which
+// is exactly what the importance-sampling likelihood ratios of Appendix B
+// need (eqs. 35-48).
+package hosking
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vbrsim/internal/acf"
+	"vbrsim/internal/rng"
+)
+
+// ErrNotPositiveDefinite is returned when the supplied autocorrelation is not
+// a valid (positive-definite) correlation function for the requested length.
+var ErrNotPositiveDefinite = errors.New("hosking: autocorrelation is not positive definite")
+
+// Plan holds the precomputed Durbin–Levinson state for generating paths of
+// length n. A Plan is immutable after construction and safe for concurrent
+// use by multiple goroutines.
+type Plan struct {
+	n      int
+	r      []float64   // r[k] = autocorrelation at lag k, 0..n-1
+	phi    [][]float64 // phi[k][j-1] = phi_{k,j}, j = 1..k, for k = 1..n-1
+	v      []float64   // v[k] = conditional variance of X_k given X_0..X_{k-1}
+	phiSum []float64   // phiSum[k] = sum_j phi_{k,j}; 0 at k = 0
+}
+
+// NewPlan runs the Durbin–Levinson recursion for the given autocorrelation
+// model up to length n. It returns ErrNotPositiveDefinite (wrapped with the
+// offending lag) if any partial correlation falls outside (-1, 1).
+func NewPlan(model acf.Model, n int) (*Plan, error) {
+	if n <= 0 {
+		return nil, errors.New("hosking: non-positive length")
+	}
+	p := &Plan{
+		n:      n,
+		r:      make([]float64, n),
+		phi:    make([][]float64, n),
+		v:      make([]float64, n),
+		phiSum: make([]float64, n),
+	}
+	for k := range p.r {
+		p.r[k] = model.At(k)
+	}
+	if p.r[0] != 1 {
+		return nil, errors.New("hosking: model.At(0) must be 1")
+	}
+	p.v[0] = 1
+	if n == 1 {
+		return p, nil
+	}
+	prev := make([]float64, 0, n)
+	for k := 1; k < n; k++ {
+		// d_k = r(k) - sum_{j=1}^{k-1} phi_{k-1,j} r(k-j)
+		d := p.r[k]
+		for j := 1; j < k; j++ {
+			d -= prev[j-1] * p.r[k-j]
+		}
+		phiKK := d / p.v[k-1]
+		if math.Abs(phiKK) >= 1 || math.IsNaN(phiKK) {
+			return nil, fmt.Errorf("%w: partial correlation %v at lag %d", ErrNotPositiveDefinite, phiKK, k)
+		}
+		row := make([]float64, k)
+		for j := 1; j < k; j++ {
+			row[j-1] = prev[j-1] - phiKK*prev[k-1-j]
+		}
+		row[k-1] = phiKK
+		p.phi[k] = row
+		p.v[k] = p.v[k-1] * (1 - phiKK*phiKK)
+		var s float64
+		for _, c := range row {
+			s += c
+		}
+		p.phiSum[k] = s
+		prev = row
+	}
+	return p, nil
+}
+
+// PhiRowSum returns sum_{j=1}^{k} phi_{k,j}, the sensitivity of the
+// conditional mean to a constant shift of the history. It is what the
+// importance-sampling likelihood ratio of Appendix B needs: shifting the
+// whole history by m* shifts the conditional mean by m* * PhiRowSum(k).
+func (p *Plan) PhiRowSum(k int) float64 {
+	if k <= 0 || k >= p.n {
+		return 0
+	}
+	return p.phiSum[k]
+}
+
+// Len returns the maximum path length the plan supports.
+func (p *Plan) Len() int { return p.n }
+
+// ACF returns the autocorrelation value the plan was built from at lag k.
+func (p *Plan) ACF(k int) float64 {
+	if k < 0 || k >= p.n {
+		return 0
+	}
+	return p.r[k]
+}
+
+// CondVar returns v_k, the variance of X_k conditioned on X_0..X_{k-1}.
+func (p *Plan) CondVar(k int) float64 { return p.v[k] }
+
+// PartialCorr returns the k-th partial correlation phi_{k,k} (k >= 1).
+func (p *Plan) PartialCorr(k int) float64 {
+	if k <= 0 || k >= p.n {
+		return 0
+	}
+	return p.phi[k][k-1]
+}
+
+// CondMean returns m_k = sum_{j=1}^{k} phi_{k,j} x_{k-j}, the mean of X_k
+// conditioned on the history x[0..k-1]. For k == 0 it returns 0.
+func (p *Plan) CondMean(k int, x []float64) float64 {
+	if k == 0 {
+		return 0
+	}
+	row := p.phi[k]
+	var m float64
+	for j := 1; j <= k; j++ {
+		m += row[j-1] * x[k-j]
+	}
+	return m
+}
+
+// Generate fills out with one sample path of the process, using r as the
+// randomness source. len(out) must not exceed the plan length.
+func (p *Plan) Generate(r *rng.Source, out []float64) {
+	if len(out) > p.n {
+		panic("hosking: requested path longer than plan")
+	}
+	for k := range out {
+		m := p.CondMean(k, out[:k])
+		out[k] = m + math.Sqrt(p.v[k])*r.Norm()
+	}
+}
+
+// Path allocates and returns a fresh sample path of length n (n <= plan
+// length).
+func (p *Plan) Path(r *rng.Source, n int) []float64 {
+	out := make([]float64, n)
+	p.Generate(r, out)
+	return out
+}
+
+// ConditionalPath generates a continuation of length n given an observed
+// prefix: the returned slice holds X_{len(observed)} .. X_{len(observed)+n-1}
+// drawn from the process law conditioned on the observations. This is the
+// natural forecasting/conditional-simulation use of the Durbin-Levinson
+// state: the plan's regression coefficients already encode the conditional
+// means and variances at every step. len(observed)+n must not exceed the
+// plan length.
+func (p *Plan) ConditionalPath(r *rng.Source, observed []float64, n int) []float64 {
+	m := len(observed)
+	if m+n > p.n {
+		panic("hosking: conditional path exceeds plan length")
+	}
+	hist := make([]float64, m, m+n)
+	copy(hist, observed)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		k := m + i
+		mean := p.CondMean(k, hist)
+		x := mean + math.Sqrt(p.v[k])*r.Norm()
+		hist = append(hist, x)
+		out[i] = x
+	}
+	return out
+}
+
+// Forecast returns the conditional means E[X_k | observed] for the next n
+// steps (the minimum-MSE linear predictor path), along with the conditional
+// standard deviations.
+func (p *Plan) Forecast(observed []float64, n int) (mean, std []float64) {
+	m := len(observed)
+	if m+n > p.n {
+		panic("hosking: forecast exceeds plan length")
+	}
+	mean = make([]float64, n)
+	std = make([]float64, n)
+	hist := make([]float64, m, m+n)
+	copy(hist, observed)
+	for i := 0; i < n; i++ {
+		k := m + i
+		mu := p.CondMean(k, hist)
+		mean[i] = mu
+		// Multi-step prediction error variance compounds; for the one-step
+		// tree we report the innovation std of each step given the
+		// *predicted* history, which lower-bounds the true multi-step
+		// uncertainty and equals it at i = 0.
+		std[i] = math.Sqrt(p.v[k])
+		hist = append(hist, mu)
+	}
+	return mean, std
+}
+
+// Generator is a streaming view of one sample path: each Next call extends
+// the path by one step. It is bound to a single goroutine.
+type Generator struct {
+	plan *Plan
+	rng  *rng.Source
+	x    []float64
+}
+
+// NewGenerator returns a streaming generator over the plan.
+func NewGenerator(plan *Plan, r *rng.Source) *Generator {
+	return &Generator{plan: plan, rng: r, x: make([]float64, 0, plan.n)}
+}
+
+// Next returns the next sample of the path. It panics when the plan length
+// is exhausted.
+func (g *Generator) Next() float64 {
+	k := len(g.x)
+	if k >= g.plan.n {
+		panic("hosking: generator exhausted plan length")
+	}
+	m := g.plan.CondMean(k, g.x)
+	v := g.plan.v[k]
+	x := m + math.Sqrt(v)*g.rng.Norm()
+	g.x = append(g.x, x)
+	return x
+}
+
+// Pos returns how many samples have been generated so far.
+func (g *Generator) Pos() int { return len(g.x) }
+
+// History returns the path generated so far. The caller must not modify it.
+func (g *Generator) History() []float64 { return g.x }
+
+// Reset discards the path so the generator can produce a fresh replication.
+func (g *Generator) Reset() { g.x = g.x[:0] }

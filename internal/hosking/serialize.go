@@ -1,0 +1,97 @@
+// Plan serialization. Building a Durbin-Levinson plan costs O(n^2) time,
+// which dominates setup for long queueing horizons; a serialized plan loads
+// in O(n^2) bytes of sequential I/O instead. The format is a simple
+// little-endian dump: magic, length, the autocorrelation, conditional
+// variances, row sums, and the triangular phi table.
+package hosking
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+var planMagic = [4]byte{'H', 'P', 'L', 'N'}
+
+// WriteTo serializes the plan. It returns the number of bytes written.
+func (p *Plan) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	if n, err := bw.Write(planMagic[:]); err != nil {
+		return int64(n), err
+	}
+	written += 4
+	if err := binary.Write(bw, binary.LittleEndian, uint64(p.n)); err != nil {
+		return written, err
+	}
+	written += 8
+	for _, s := range [][]float64{p.r, p.v, p.phiSum} {
+		if err := binary.Write(bw, binary.LittleEndian, s); err != nil {
+			return written, err
+		}
+		written += int64(8 * len(s))
+	}
+	for k := 1; k < p.n; k++ {
+		if err := binary.Write(bw, binary.LittleEndian, p.phi[k]); err != nil {
+			return written, err
+		}
+		written += int64(8 * len(p.phi[k]))
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// ReadPlan deserializes a plan written by WriteTo.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != planMagic {
+		return nil, errors.New("hosking: bad plan magic")
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	const maxPlanLen = 1 << 17 // 128k steps = ~64 GiB of phi table; far beyond practical
+	if n == 0 || n > maxPlanLen {
+		return nil, fmt.Errorf("hosking: implausible plan length %d", n)
+	}
+	p := &Plan{
+		n:      int(n),
+		r:      make([]float64, n),
+		v:      make([]float64, n),
+		phiSum: make([]float64, n),
+		phi:    make([][]float64, n),
+	}
+	for _, s := range [][]float64{p.r, p.v, p.phiSum} {
+		if err := binary.Read(br, binary.LittleEndian, s); err != nil {
+			return nil, err
+		}
+	}
+	for k := 1; k < p.n; k++ {
+		row := make([]float64, k)
+		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+			return nil, err
+		}
+		p.phi[k] = row
+	}
+	// Sanity: the stored quantities must describe a valid plan.
+	if p.r[0] != 1 {
+		return nil, errors.New("hosking: stored plan has r(0) != 1")
+	}
+	for k, v := range p.v {
+		// The NaN check must be explicit: all comparisons with NaN are false.
+		if math.IsNaN(v) || v <= 0 || v > 1 {
+			return nil, fmt.Errorf("hosking: stored conditional variance %v at step %d out of (0,1]", v, k)
+		}
+	}
+	return p, nil
+}

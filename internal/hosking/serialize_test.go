@@ -1,0 +1,100 @@
+package hosking
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vbrsim/internal/acf"
+	"vbrsim/internal/rng"
+)
+
+func TestPlanRoundTrip(t *testing.T) {
+	orig, err := NewPlan(acf.PaperComposite().Continuous(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("length %d vs %d", got.Len(), orig.Len())
+	}
+	// Identical plans generate identical paths from identical seeds.
+	a := orig.Path(rng.New(5), 300)
+	b := got.Path(rng.New(5), 300)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("paths diverge at %d", i)
+		}
+	}
+	// Internal tables identical.
+	for k := 0; k < 300; k++ {
+		if got.CondVar(k) != orig.CondVar(k) || got.PhiRowSum(k) != orig.PhiRowSum(k) {
+			t.Fatalf("tables differ at step %d", k)
+		}
+	}
+}
+
+func TestReadPlanRejectsCorruption(t *testing.T) {
+	orig, err := NewPlan(acf.FGN{H: 0.8}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ReadPlan(strings.NewReader("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadPlan(bytes.NewReader(good[:20])); err == nil {
+		t.Error("truncated plan accepted")
+	}
+	// Corrupt a conditional variance to a negative value.
+	bad := append([]byte(nil), good...)
+	// v starts after magic(4) + n(8) + r(50*8).
+	off := 4 + 8 + 50*8
+	for i := 0; i < 8; i++ {
+		bad[off+i] = 0xFF // NaN-ish garbage
+	}
+	if _, err := ReadPlan(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt variance accepted")
+	}
+	// Implausible length.
+	huge := append([]byte(nil), good[:12]...)
+	for i := 4; i < 12; i++ {
+		huge[i] = 0xFF
+	}
+	if _, err := ReadPlan(bytes.NewReader(huge)); err == nil {
+		t.Error("absurd length accepted")
+	}
+}
+
+func BenchmarkPlanSerializeRoundTrip(b *testing.B) {
+	plan, err := NewPlan(acf.PaperComposite().Continuous(), 500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := plan.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadPlan(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package hurst
+
+import (
+	"math"
+	"testing"
+
+	"vbrsim/internal/rng"
+)
+
+func TestLocalWhittleRecoversH(t *testing.T) {
+	for _, h := range []float64{0.6, 0.75, 0.9} {
+		x := fgnPath(t, h, 1<<17, 51)
+		est, err := LocalWhittle(x, LocalWhittleOptions{})
+		if err != nil {
+			t.Fatalf("H=%v: %v", h, err)
+		}
+		if math.Abs(est.H-h) > 0.05 {
+			t.Errorf("local Whittle H = %v, want %v", est.H, h)
+		}
+	}
+}
+
+func TestLocalWhittleWhiteNoise(t *testing.T) {
+	r := rng.New(52)
+	x := make([]float64, 1<<16)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	est, err := LocalWhittle(x, LocalWhittleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.H-0.5) > 0.05 {
+		t.Errorf("white noise local Whittle H = %v, want 0.5", est.H)
+	}
+}
+
+func TestLocalWhittleAntipersistent(t *testing.T) {
+	// Differenced white noise is antipersistent (H < 0.5); the estimator
+	// must go below 0.5, unlike R/S which is biased there.
+	r := rng.New(53)
+	n := 1 << 16
+	x := make([]float64, n)
+	prev := r.Norm()
+	for i := range x {
+		cur := r.Norm()
+		x[i] = cur - prev
+		prev = cur
+	}
+	est, err := LocalWhittle(x, LocalWhittleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.H > 0.3 {
+		t.Errorf("antipersistent H = %v, want << 0.5", est.H)
+	}
+}
+
+func TestLocalWhittleShortSeries(t *testing.T) {
+	if _, err := LocalWhittle(make([]float64, 100), LocalWhittleOptions{}); err == nil {
+		t.Error("short series accepted")
+	}
+}
+
+func TestLocalWhittleBandwidthOption(t *testing.T) {
+	x := fgnPath(t, 0.8, 1<<16, 54)
+	a, err := LocalWhittle(x, LocalWhittleOptions{Bandwidth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LocalWhittle(x, LocalWhittleOptions{Bandwidth: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both bandwidths must land near the truth.
+	for _, est := range []Estimate{a, b} {
+		if math.Abs(est.H-0.8) > 0.08 {
+			t.Errorf("H = %v at some bandwidth, want ~0.8", est.H)
+		}
+	}
+	if len(a.X) != 256 {
+		t.Errorf("plot points = %d, want 256", len(a.X))
+	}
+}
+
+func TestLocalWhittleAgreesWithVT(t *testing.T) {
+	x := fgnPath(t, 0.85, 1<<17, 55)
+	lw, err := LocalWhittle(x, LocalWhittleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, err := VarianceTime(x, VarianceTimeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lw.H-vt.H) > 0.12 {
+		t.Errorf("local Whittle %v and VT %v disagree", lw.H, vt.H)
+	}
+}
+
+func BenchmarkLocalWhittle(b *testing.B) {
+	x := fgnPath(b, 0.9, 1<<16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LocalWhittle(x, LocalWhittleOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

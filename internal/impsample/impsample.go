@@ -1,0 +1,396 @@
+// Package impsample implements the importance-sampling fast simulation of
+// Appendix B: the Gaussian background process X is twisted by a constant
+// mean shift, X' = X + m*, the foreground arrivals become Y' = h(X'), and
+// each replication is re-weighted by the exact likelihood ratio of the
+// background processes (eqs. 42-48),
+//
+//	L(k) = prod_i f_X(x'_i | past) / f_X'(x'_i | past),
+//
+// where both conditional densities are Gaussians with the same variance v_i
+// and means that differ by m*(1 - sum_j phi_{i,j}). Writing the generated
+// innovation as e_i = x_i - E[X_i|past], each factor reduces to
+//
+//	log L_i = -(2 e_i c_i + c_i^2) / (2 v_i),   c_i = m*(1 - PhiRowSum(i)),
+//
+// which is numerically stable and costs O(1) on top of path generation.
+//
+// Two estimators are provided, matching the paper's two uses:
+//
+//   - Crossing (Section 4's steps 1-8): P(Q_k > b) for an initially empty
+//     queue via the workload-supremum formulation, stopping each replication
+//     at the first crossing;
+//   - Lindley: P(Q_k > b) for an arbitrary initial occupancy by running the
+//     full recursion to the horizon (used for the transient study, Fig. 15).
+package impsample
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+
+	"vbrsim/internal/hosking"
+	"vbrsim/internal/queue"
+	"vbrsim/internal/rng"
+	"vbrsim/internal/transform"
+)
+
+// Mode selects the estimator.
+type Mode int
+
+// Estimator modes.
+const (
+	// ModeCrossing estimates P(sup_{i<=k} W_i > b), which equals
+	// P(Q_k > b) for an initially empty queue; replications stop early at
+	// the first crossing (the paper's simulation procedure).
+	ModeCrossing Mode = iota
+	// ModeLindley runs the full Lindley recursion from InitialOccupancy and
+	// tests Q_k > b at the horizon.
+	ModeLindley
+)
+
+// Config parameterizes one importance-sampling estimation.
+type Config struct {
+	// Plan is the background-process generation plan; its length bounds the
+	// horizon.
+	Plan *hosking.Plan
+	// Transform maps background variates to foreground arrivals.
+	Transform transform.T
+	// TypedTransforms, when non-empty, replaces Transform with a cyclic
+	// per-slot pattern of transforms — the Section 3.3 composite model's
+	// GOP-modulated arrivals (slot i uses TypedTransforms[i % len]). The
+	// likelihood ratio is unchanged: twisting happens in the background
+	// process, and the per-type transforms are deterministic functions of
+	// the slot index.
+	TypedTransforms []transform.T
+	// Service is the deterministic per-slot service rate mu.
+	Service float64
+	// Buffer is the overflow threshold b, in the same (absolute) units as
+	// the arrivals.
+	Buffer float64
+	// Horizon is the stop time k.
+	Horizon int
+	// Twist is the background mean shift m*; 0 recovers plain Monte Carlo.
+	Twist float64
+	// Replications is N; default 1000 (the paper's setting).
+	Replications int
+	// Workers bounds concurrency; default GOMAXPROCS.
+	Workers int
+	// Seed drives the replication sources.
+	Seed uint64
+	// Mode selects the estimator; default ModeCrossing.
+	Mode Mode
+	// InitialOccupancy is Q_0 for ModeLindley.
+	InitialOccupancy float64
+}
+
+func (c *Config) validate() error {
+	if c.Plan == nil {
+		return errors.New("impsample: nil plan")
+	}
+	if c.Horizon <= 0 || c.Horizon > c.Plan.Len() {
+		return errors.New("impsample: horizon must lie in [1, plan length]")
+	}
+	if c.Service <= 0 {
+		return errors.New("impsample: non-positive service rate")
+	}
+	if c.Mode == ModeCrossing && c.InitialOccupancy != 0 {
+		return errors.New("impsample: ModeCrossing requires an initially empty queue")
+	}
+	return nil
+}
+
+// Estimate runs the importance-sampling estimator and returns the weighted
+// result. With Twist == 0 it degenerates to plain Monte Carlo on the same
+// sample paths, which is how the estimator's unbiasedness is tested.
+func Estimate(cfg Config) (queue.Result, error) {
+	if err := cfg.validate(); err != nil {
+		return queue.Result{}, err
+	}
+	reps := cfg.Replications
+	if reps <= 0 {
+		reps = 1000
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	root := rng.New(cfg.Seed)
+	sources := make([]*rng.Source, reps)
+	for i := range sources {
+		sources[i] = root.Split()
+	}
+
+	// Per-replication weights are collected by index and reduced in a fixed
+	// order, so the estimate is bit-identical regardless of worker count.
+	weights := make([]float64, reps)
+	hitFlags := make([]bool, reps)
+	var wg sync.WaitGroup
+	chunk := (reps + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > reps {
+			hi = reps
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			buf := make([]float64, cfg.Horizon)
+			for i := lo; i < hi; i++ {
+				weights[i], hitFlags[i] = replicate(&cfg, sources[i], buf)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	var sum, sumSq float64
+	hits := 0
+	for i, hit := range hitFlags {
+		if hit {
+			hits++
+			sum += weights[i]
+			sumSq += weights[i] * weights[i]
+		}
+	}
+	return finalize(sum, sumSq, reps, hits), nil
+}
+
+// transformAt returns the marginal transform for slot i.
+func (c *Config) transformAt(i int) transform.T {
+	if len(c.TypedTransforms) > 0 {
+		return c.TypedTransforms[i%len(c.TypedTransforms)]
+	}
+	return c.Transform
+}
+
+// replicate runs one twisted replication. buf is scratch for the background
+// path history (length >= horizon). It returns the likelihood weight and
+// whether the overflow event occurred.
+func replicate(cfg *Config, r *rng.Source, buf []float64) (weight float64, hit bool) {
+	plan := cfg.Plan
+	mStar := cfg.Twist
+	var logL float64
+	var w float64 // running workload (crossing mode)
+	q := cfg.InitialOccupancy
+
+	for i := 0; i < cfg.Horizon; i++ {
+		m := plan.CondMean(i, buf[:i])
+		v := plan.CondVar(i)
+		innov := math.Sqrt(v) * r.Norm()
+		x := m + innov
+		buf[i] = x
+		c := mStar * (1 - plan.PhiRowSum(i))
+		if c != 0 {
+			logL -= (2*innov*c + c*c) / (2 * v)
+		}
+		y := cfg.transformAt(i).Apply(x + mStar)
+
+		switch cfg.Mode {
+		case ModeCrossing:
+			w += y - cfg.Service
+			if w > cfg.Buffer {
+				return math.Exp(logL), true
+			}
+		case ModeLindley:
+			q += y - cfg.Service
+			if q < 0 {
+				q = 0
+			}
+		}
+	}
+	if cfg.Mode == ModeLindley && q > cfg.Buffer {
+		return math.Exp(logL), true
+	}
+	return 0, false
+}
+
+// finalize mirrors queue.Result construction for weighted samples.
+func finalize(sum, sumSq float64, n, hits int) queue.Result {
+	p := sum / float64(n)
+	variance := sumSq/float64(n) - p*p
+	if variance < 0 {
+		variance = 0
+	}
+	res := queue.Result{
+		P:            p,
+		Variance:     variance,
+		StdErr:       math.Sqrt(variance / float64(n)),
+		Replications: n,
+		Hits:         hits,
+	}
+	if p > 0 {
+		res.NormVar = variance / (p * p)
+	} else {
+		res.NormVar = math.Inf(1)
+	}
+	return res
+}
+
+// EstimateTransient estimates the transient overflow probability
+// P(Q_k > b) at every checkpoint k in one pass per replication: the Lindley
+// recursion runs from cfg.InitialOccupancy to the largest checkpoint, and at
+// each checkpoint the indicator is weighted by the running (prefix)
+// likelihood ratio — E'[1{Q_k > b} L(k)] is unbiased for each k separately.
+// This is how the paper's Fig. 15 (empty vs. full initial buffer) is
+// produced without re-simulating per stop time. cfg.Mode and cfg.Horizon are
+// ignored; checkpoints must be positive, strictly increasing, and bounded by
+// the plan length.
+func EstimateTransient(cfg Config, checkpoints []int) ([]queue.Result, error) {
+	if cfg.Plan == nil {
+		return nil, errors.New("impsample: nil plan")
+	}
+	if len(checkpoints) == 0 {
+		return nil, errors.New("impsample: no checkpoints")
+	}
+	prev := 0
+	for _, k := range checkpoints {
+		if k <= prev {
+			return nil, errors.New("impsample: checkpoints must be positive and strictly increasing")
+		}
+		prev = k
+	}
+	horizon := checkpoints[len(checkpoints)-1]
+	if horizon > cfg.Plan.Len() {
+		return nil, errors.New("impsample: checkpoint beyond plan length")
+	}
+	if cfg.Service <= 0 {
+		return nil, errors.New("impsample: non-positive service rate")
+	}
+	reps := cfg.Replications
+	if reps <= 0 {
+		reps = 1000
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	root := rng.New(cfg.Seed)
+	sources := make([]*rng.Source, reps)
+	for i := range sources {
+		sources[i] = root.Split()
+	}
+
+	nc := len(checkpoints)
+	// weights[i*nc+j] is replication i's weighted indicator at checkpoint j.
+	weights := make([]float64, reps*nc)
+	var wg sync.WaitGroup
+	chunk := (reps + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > reps {
+			hi = reps
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			buf := make([]float64, horizon)
+			for i := lo; i < hi; i++ {
+				transientReplicate(&cfg, sources[i], buf, checkpoints, weights[i*nc:(i+1)*nc])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	out := make([]queue.Result, nc)
+	for j := 0; j < nc; j++ {
+		var sum, sumSq float64
+		hits := 0
+		for i := 0; i < reps; i++ {
+			wgt := weights[i*nc+j]
+			if wgt > 0 {
+				hits++
+				sum += wgt
+				sumSq += wgt * wgt
+			}
+		}
+		out[j] = finalize(sum, sumSq, reps, hits)
+	}
+	return out, nil
+}
+
+// transientReplicate runs one full-horizon replication, filling the weighted
+// indicator at each checkpoint.
+func transientReplicate(cfg *Config, r *rng.Source, buf []float64, checkpoints []int, out []float64) {
+	plan := cfg.Plan
+	mStar := cfg.Twist
+	var logL float64
+	q := cfg.InitialOccupancy
+	next := 0
+	horizon := checkpoints[len(checkpoints)-1]
+	for i := 0; i < horizon; i++ {
+		m := plan.CondMean(i, buf[:i])
+		v := plan.CondVar(i)
+		innov := math.Sqrt(v) * r.Norm()
+		buf[i] = m + innov
+		c := mStar * (1 - plan.PhiRowSum(i))
+		if c != 0 {
+			logL -= (2*innov*c + c*c) / (2 * v)
+		}
+		y := cfg.transformAt(i).Apply(buf[i] + mStar)
+		q += y - cfg.Service
+		if q < 0 {
+			q = 0
+		}
+		if i+1 == checkpoints[next] {
+			if q > cfg.Buffer {
+				out[next] = math.Exp(logL)
+			}
+			next++
+		}
+	}
+}
+
+// VarianceReduction returns the factor by which importance sampling with the
+// given result beats plain Monte Carlo at equal replication count:
+// the indicator estimator's normalized variance (1-p)/p divided by the IS
+// normalized variance. Values >> 1 mean the twist helps.
+func VarianceReduction(res queue.Result) float64 {
+	if res.P <= 0 || res.P >= 1 || res.NormVar == 0 {
+		return 0
+	}
+	naive := (1 - res.P) / res.P
+	return naive / res.NormVar
+}
+
+// TwistSearchResult pairs a candidate twist with its estimate.
+type TwistSearchResult struct {
+	Twist  float64
+	Result queue.Result
+}
+
+// SearchTwist evaluates the estimator at each candidate twist (the paper's
+// heuristic search for the normalized-variance "valley", Fig. 14) and
+// returns all results plus the index of the lowest finite normalized
+// variance. An error is returned only for configuration problems; candidate
+// twists whose estimate degenerates are reported with infinite NormVar.
+func SearchTwist(cfg Config, twists []float64) ([]TwistSearchResult, int, error) {
+	if len(twists) == 0 {
+		return nil, -1, errors.New("impsample: no twist candidates")
+	}
+	out := make([]TwistSearchResult, len(twists))
+	best := -1
+	for i, m := range twists {
+		c := cfg
+		c.Twist = m
+		res, err := Estimate(c)
+		if err != nil {
+			return nil, -1, err
+		}
+		out[i] = TwistSearchResult{Twist: m, Result: res}
+		if !math.IsInf(res.NormVar, 1) && (best == -1 || res.NormVar < out[best].Result.NormVar) {
+			best = i
+		}
+	}
+	return out, best, nil
+}

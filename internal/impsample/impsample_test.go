@@ -1,0 +1,408 @@
+package impsample
+
+import (
+	"math"
+	"testing"
+
+	"vbrsim/internal/acf"
+	"vbrsim/internal/dist"
+	"vbrsim/internal/hosking"
+	"vbrsim/internal/queue"
+	"vbrsim/internal/rng"
+	"vbrsim/internal/transform"
+)
+
+// testSetup builds a small background plan and a mildly nonlinear transform.
+func testSetup(t testing.TB, n int) (*hosking.Plan, transform.T) {
+	t.Helper()
+	plan, err := hosking.NewPlan(acf.Exponential{Lambda: 0.2}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, transform.New(dist.Lognormal{Mu: 0, Sigma: 0.5})
+}
+
+func TestValidation(t *testing.T) {
+	plan, h := testSetup(t, 50)
+	base := Config{Plan: plan, Transform: h, Service: 2, Buffer: 5, Horizon: 50}
+	bad := []func(*Config){
+		func(c *Config) { c.Plan = nil },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Horizon = 51 },
+		func(c *Config) { c.Service = 0 },
+		func(c *Config) { c.InitialOccupancy = 3 }, // crossing mode
+	}
+	for i, mut := range bad {
+		c := base
+		mut(&c)
+		if _, err := Estimate(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestZeroTwistMatchesPlainMC(t *testing.T) {
+	// With m* = 0 the IS estimator must equal a plain indicator estimator
+	// over the same distributional setting.
+	plan, h := testSetup(t, 100)
+	cfg := Config{
+		Plan: plan, Transform: h,
+		Service: 1.6, Buffer: 4, Horizon: 100,
+		Replications: 4000, Seed: 1,
+	}
+	res, err := Estimate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain MC over the same generator via the queue package.
+	src := queue.PathSourceFunc(func(r *rng.Source, k int) []float64 {
+		return h.ApplySlice(plan.Path(r, k))
+	})
+	mc, err := queue.EstimateOverflow(src, 1.6, 4, 100, queue.MCOptions{Replications: 4000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Fatalf("event too rare for this test: p=%v", res.P)
+	}
+	se := 3 * (res.StdErr + mc.StdErr)
+	if math.Abs(res.P-mc.P) > se {
+		t.Errorf("IS(m*=0) = %v vs MC = %v (3se = %v)", res.P, mc.P, se)
+	}
+	// With zero twist every weight is exactly 1.
+	if res.Hits > 0 && math.Abs(res.P-float64(res.Hits)/float64(res.Replications)) > 1e-12 {
+		t.Errorf("zero-twist weights are not 1: P=%v hits=%d", res.P, res.Hits)
+	}
+}
+
+func TestISUnbiasedness(t *testing.T) {
+	// A moderate twist must estimate the same probability as plain MC for a
+	// non-rare event.
+	plan, h := testSetup(t, 100)
+	base := Config{
+		Plan: plan, Transform: h,
+		Service: 1.6, Buffer: 4, Horizon: 100,
+		Replications: 20000, Seed: 3,
+	}
+	plain, err := Estimate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twisted := base
+	twisted.Twist = 0.7
+	twisted.Seed = 4
+	res, err := Estimate(twisted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := 3 * (plain.StdErr + res.StdErr)
+	if math.Abs(res.P-plain.P) > se {
+		t.Errorf("twisted estimate %v vs plain %v (3se = %v)", res.P, plain.P, se)
+	}
+}
+
+func TestVarianceReductionOnRareEvent(t *testing.T) {
+	// For a genuinely rare event the twisted estimator must (a) see many
+	// more hits and (b) reduce the normalized variance substantially.
+	plan, h := testSetup(t, 120)
+	base := Config{
+		Plan: plan, Transform: h,
+		Service: 2.2, Buffer: 30, Horizon: 120,
+		Replications: 3000, Seed: 5,
+	}
+	plain, err := Estimate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twisted := base
+	twisted.Twist = 1.8
+	res, err := Estimate(twisted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits < 10*plain.Hits+10 {
+		t.Errorf("twist did not accelerate hits: plain %d, twisted %d", plain.Hits, res.Hits)
+	}
+	if res.P <= 0 {
+		t.Fatal("twisted estimator found no mass")
+	}
+	vr := VarianceReduction(res)
+	if vr < 3 {
+		t.Errorf("variance reduction = %v, want > 3", vr)
+	}
+}
+
+func TestDeterminismAndWorkerInvariance(t *testing.T) {
+	plan, h := testSetup(t, 60)
+	cfg := Config{
+		Plan: plan, Transform: h,
+		Service: 1.8, Buffer: 6, Horizon: 60,
+		Twist: 1.0, Replications: 500, Seed: 7, Workers: 4,
+	}
+	a, err := Estimate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := Estimate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P != b.P || a.Hits != b.Hits {
+		t.Errorf("worker count changed result: %+v vs %+v", a, b)
+	}
+}
+
+func TestLindleyModeMatchesCrossingForEmptyStart(t *testing.T) {
+	// For q0 = 0 the two modes estimate the same probability (duality for
+	// the time-reversible Gaussian background).
+	plan, h := testSetup(t, 80)
+	cross := Config{
+		Plan: plan, Transform: h,
+		Service: 1.7, Buffer: 4, Horizon: 80,
+		Replications: 8000, Seed: 11,
+	}
+	rc, err := Estimate(cross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lind := cross
+	lind.Mode = ModeLindley
+	lind.Seed = 12
+	rl, err := Estimate(lind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := 3 * (rc.StdErr + rl.StdErr)
+	if math.Abs(rc.P-rl.P) > se {
+		t.Errorf("crossing %v vs lindley %v (3se %v)", rc.P, rl.P, se)
+	}
+}
+
+func TestLindleyModeInitialOccupancy(t *testing.T) {
+	// Starting full must give a higher transient overflow probability than
+	// starting empty at a short horizon.
+	plan, h := testSetup(t, 60)
+	empty := Config{
+		Plan: plan, Transform: h,
+		Service: 1.7, Buffer: 8, Horizon: 20,
+		Mode: ModeLindley, Replications: 6000, Seed: 13,
+	}
+	re, err := Estimate(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := empty
+	full.InitialOccupancy = 8
+	rf, err := Estimate(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.P <= re.P {
+		t.Errorf("full start %v should exceed empty start %v at short horizon", rf.P, re.P)
+	}
+}
+
+func TestSearchTwistFindsValley(t *testing.T) {
+	plan, h := testSetup(t, 100)
+	cfg := Config{
+		Plan: plan, Transform: h,
+		Service: 2.2, Buffer: 25, Horizon: 100,
+		Replications: 1500, Seed: 17,
+	}
+	twists := []float64{0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+	results, best, err := SearchTwist(cfg, twists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(twists) {
+		t.Fatalf("results length %d", len(results))
+	}
+	if best < 0 {
+		t.Fatal("no finite-variance twist found")
+	}
+	if results[best].Twist == 0 {
+		t.Error("valley at zero twist is implausible for a rare event")
+	}
+	// The best twist must beat plain MC's normalized variance.
+	if !math.IsInf(results[0].Result.NormVar, 1) &&
+		results[best].Result.NormVar >= results[0].Result.NormVar {
+		t.Errorf("best twist %v does not beat zero twist", results[best].Twist)
+	}
+}
+
+func TestSearchTwistEmpty(t *testing.T) {
+	plan, h := testSetup(t, 10)
+	cfg := Config{Plan: plan, Transform: h, Service: 2, Buffer: 5, Horizon: 10}
+	if _, _, err := SearchTwist(cfg, nil); err == nil {
+		t.Error("empty candidate list accepted")
+	}
+}
+
+func TestVarianceReductionEdgeCases(t *testing.T) {
+	if VarianceReduction(queue.Result{P: 0}) != 0 {
+		t.Error("P=0 should give 0")
+	}
+	if VarianceReduction(queue.Result{P: 1}) != 0 {
+		t.Error("P=1 should give 0")
+	}
+	res := queue.Result{P: 0.01, NormVar: (1 - 0.01) / 0.01}
+	if vr := VarianceReduction(res); math.Abs(vr-1) > 1e-12 {
+		t.Errorf("MC-equivalent result should give VR=1, got %v", vr)
+	}
+}
+
+func TestTypedTransformsGOPArrivals(t *testing.T) {
+	// Composite-model arrivals: three per-type transforms cycled in a GOP
+	// pattern. Unbiasedness must survive typing: compare zero-twist against
+	// a twisted estimate on a non-rare event.
+	plan, err := hosking.NewPlan(acf.Exponential{Lambda: 0.05}, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := transform.New(dist.Lognormal{Mu: 1.0, Sigma: 0.4})    // "I frames"
+	mid := transform.New(dist.Lognormal{Mu: 0.3, Sigma: 0.4})    // "P frames"
+	small := transform.New(dist.Lognormal{Mu: -0.5, Sigma: 0.4}) // "B frames"
+	pattern := []transform.T{big, small, small, mid, small, small}
+
+	base := Config{
+		Plan:            plan,
+		TypedTransforms: pattern,
+		Service:         1.8,
+		Buffer:          10,
+		Horizon:         120,
+		Replications:    8000,
+		Seed:            41,
+	}
+	plain, err := Estimate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.P < 0.01 {
+		t.Fatalf("typed test event too rare: %v", plain.P)
+	}
+	twisted := base
+	twisted.Twist = 0.6
+	twisted.Seed = 42
+	res, err := Estimate(twisted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := 3 * (plain.StdErr + res.StdErr)
+	if math.Abs(res.P-plain.P) > se {
+		t.Errorf("typed IS %v vs typed MC %v (3se %v)", res.P, plain.P, se)
+	}
+	// And the typed estimate must differ from the untyped one using only
+	// the I transform (sanity that typing is actually applied).
+	untyped := base
+	untyped.TypedTransforms = nil
+	untyped.Transform = big
+	ru, err := Estimate(untyped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ru.P-plain.P) < 1e-12 {
+		t.Error("typed transforms had no effect")
+	}
+}
+
+func TestEstimateTransientValidation(t *testing.T) {
+	plan, h := testSetup(t, 50)
+	cfg := Config{Plan: plan, Transform: h, Service: 2, Buffer: 5}
+	if _, err := EstimateTransient(cfg, nil); err == nil {
+		t.Error("no checkpoints accepted")
+	}
+	if _, err := EstimateTransient(cfg, []int{10, 5}); err == nil {
+		t.Error("non-increasing checkpoints accepted")
+	}
+	if _, err := EstimateTransient(cfg, []int{100}); err == nil {
+		t.Error("checkpoint beyond plan accepted")
+	}
+	bad := cfg
+	bad.Service = 0
+	if _, err := EstimateTransient(bad, []int{10}); err == nil {
+		t.Error("zero service accepted")
+	}
+}
+
+func TestEstimateTransientMatchesSingleHorizon(t *testing.T) {
+	// A transient run's final checkpoint must agree with a ModeLindley
+	// Estimate at the same horizon.
+	plan, h := testSetup(t, 80)
+	cfg := Config{
+		Plan: plan, Transform: h,
+		Service: 1.7, Buffer: 5,
+		Twist: 0.5, Replications: 4000, Seed: 21,
+	}
+	series, err := EstimateTransient(cfg, []int{20, 40, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := cfg
+	single.Mode = ModeLindley
+	single.Horizon = 80
+	res, err := Estimate(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same path generation order -> identical results.
+	if math.Abs(series[2].P-res.P) > 1e-12 {
+		t.Errorf("transient final %v vs single-horizon %v", series[2].P, res.P)
+	}
+	// Transient overflow from empty start grows with the horizon.
+	if series[0].P > series[2].P+3*(series[0].StdErr+series[2].StdErr) {
+		t.Errorf("transient not growing: %v -> %v", series[0].P, series[2].P)
+	}
+}
+
+func TestEstimateTransientInitialConditions(t *testing.T) {
+	// Empty and full starts must converge toward each other as k grows
+	// (Fig. 15), with full >= empty at every horizon.
+	plan, h := testSetup(t, 120)
+	base := Config{
+		Plan: plan, Transform: h,
+		Service: 1.7, Buffer: 6,
+		Twist: 0.4, Replications: 4000, Seed: 23,
+	}
+	checkpoints := []int{10, 40, 120}
+	empty, err := EstimateTransient(base, checkpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCfg := base
+	fullCfg.InitialOccupancy = 6
+	fullCfg.Seed = 24
+	full, err := EstimateTransient(fullCfg, checkpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range checkpoints {
+		if full[j].P+1e-9 < empty[j].P-3*(full[j].StdErr+empty[j].StdErr) {
+			t.Errorf("k=%d: full %v < empty %v", checkpoints[j], full[j].P, empty[j].P)
+		}
+	}
+	gapEarly := full[0].P - empty[0].P
+	gapLate := full[2].P - empty[2].P
+	if gapLate > gapEarly {
+		t.Errorf("initial-condition gap grew: %v -> %v", gapEarly, gapLate)
+	}
+}
+
+func BenchmarkEstimateCrossing(b *testing.B) {
+	plan, err := hosking.NewPlan(acf.PaperComposite().Continuous(), 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := transform.New(dist.Lognormal{Mu: 0, Sigma: 0.5})
+	cfg := Config{
+		Plan: plan, Transform: h,
+		Service: 2.0, Buffer: 20, Horizon: 200,
+		Twist: 1.5, Replications: 100, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package mpegtrace is a scene-oriented simulator of an MPEG-1 VBR video
+// encoder. It stands in for the proprietary "Last Action Hero" empirical
+// trace used by the paper (Table 1): the paper's modeling pipeline consumes
+// only the statistics of its input trace, and this source produces a
+// bytes-per-frame record with exactly the structural features the pipeline
+// exploits:
+//
+//   - long-range dependence with a controllable Hurst parameter, created by
+//     heavy-tailed (Pareto) scene durations — for scene-length tail index
+//     alpha in (1,2) the resulting aggregate process has H = (3-alpha)/2;
+//   - short-range dependence (the ACF "knee"), created by AR(1) modulation
+//     of the coding activity within each scene;
+//   - a long-tailed non-Gaussian marginal, from Gamma-distributed per-scene
+//     activity combined with lognormal per-frame noise; and
+//   - the MPEG-1 GOP structure IBBPBBPBBPBB, with I frames several times
+//     larger than P frames, which are larger than B frames.
+//
+// The generator is fully deterministic given its seed.
+package mpegtrace
+
+import (
+	"errors"
+	"math"
+
+	"vbrsim/internal/rng"
+	"vbrsim/internal/trace"
+)
+
+// Config parameterizes the synthetic encoder.
+type Config struct {
+	// Frames is the number of frames to generate. The paper's trace has
+	// 238,626 frames (2h12m36s at 30 fps).
+	Frames int
+	// FrameRate in frames per second; informational. Default 30.
+	FrameRate float64
+	// GOP is the group-of-pictures pattern; default trace.DefaultGOP
+	// (IBBPBBPBBPBB).
+	GOP []trace.FrameType
+
+	// SceneAlpha is the Pareto tail index of scene durations in frames;
+	// alpha in (1,2) yields LRD with H = (3-alpha)/2. Default 1.2 (H=0.9).
+	SceneAlpha float64
+	// SceneMinFrames is the Pareto location (minimum scene length). Default 24.
+	SceneMinFrames float64
+
+	// ActivityShape/ActivityScale parameterize the Gamma distribution of the
+	// per-scene coding activity (the base bytes per frame of the scene).
+	// Defaults 2.2 and 1300, giving a mean near 2900 bytes/frame with a long
+	// right tail, in the range of the paper's Fig. 1.
+	ActivityShape float64
+	ActivityScale float64
+
+	// ModPhi is the AR(1) coefficient of the within-scene activity
+	// modulation (the SRD component); default 0.95.
+	ModPhi float64
+	// ModSigma is the stationary standard deviation of the log-modulation;
+	// default 0.25.
+	ModSigma float64
+
+	// IScale, PScale, BScale are the frame-type size multipliers; defaults
+	// 2.8, 1.3 and 0.55 (I > P > B, as MPEG-1 coders produce).
+	IScale, PScale, BScale float64
+	// FrameNoiseSigma is the per-frame lognormal noise sigma; default 0.12.
+	FrameNoiseSigma float64
+
+	// Seed makes the trace reproducible.
+	Seed uint64
+}
+
+// PaperScale returns a configuration matching the empirical record of
+// Table 1: 238,626 frames at 30 fps, 12-frame GOP, H near 0.9.
+func PaperScale(seed uint64) Config {
+	return Config{Frames: 238626, Seed: seed}
+}
+
+// withDefaults fills zero fields with defaults.
+func (c Config) withDefaults() Config {
+	if c.FrameRate == 0 {
+		c.FrameRate = 30
+	}
+	if c.GOP == nil {
+		c.GOP = trace.DefaultGOP
+	}
+	if c.SceneAlpha == 0 {
+		c.SceneAlpha = 1.2
+	}
+	if c.SceneMinFrames == 0 {
+		c.SceneMinFrames = 24
+	}
+	if c.ActivityShape == 0 {
+		c.ActivityShape = 2.2
+	}
+	if c.ActivityScale == 0 {
+		c.ActivityScale = 1300
+	}
+	if c.ModPhi == 0 {
+		c.ModPhi = 0.95
+	}
+	if c.ModSigma == 0 {
+		c.ModSigma = 0.25
+	}
+	if c.IScale == 0 {
+		c.IScale = 2.8
+	}
+	if c.PScale == 0 {
+		c.PScale = 1.3
+	}
+	if c.BScale == 0 {
+		c.BScale = 0.55
+	}
+	if c.FrameNoiseSigma == 0 {
+		c.FrameNoiseSigma = 0.12
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Frames <= 0 {
+		return errors.New("mpegtrace: Frames must be positive")
+	}
+	if c.SceneAlpha <= 1 || c.SceneAlpha >= 2 {
+		return errors.New("mpegtrace: SceneAlpha must lie in (1,2) for LRD")
+	}
+	if c.SceneMinFrames < 1 {
+		return errors.New("mpegtrace: SceneMinFrames must be >= 1")
+	}
+	if c.ModPhi < 0 || c.ModPhi >= 1 {
+		return errors.New("mpegtrace: ModPhi must lie in [0,1)")
+	}
+	if len(c.GOP) == 0 {
+		return errors.New("mpegtrace: empty GOP pattern")
+	}
+	if c.IScale <= 0 || c.PScale <= 0 || c.BScale <= 0 {
+		return errors.New("mpegtrace: frame-type scales must be positive")
+	}
+	return nil
+}
+
+// TargetHurst returns the Hurst parameter the scene-length tail implies:
+// H = (3 - alpha)/2.
+func (c Config) TargetHurst() float64 {
+	cc := c.withDefaults()
+	return (3 - cc.SceneAlpha) / 2
+}
+
+// Generate produces the synthetic trace.
+func Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	r := rng.New(c.Seed)
+
+	tr := &trace.Trace{
+		Sizes:     make([]float64, c.Frames),
+		Types:     make([]trace.FrameType, c.Frames),
+		FrameRate: c.FrameRate,
+		GOPLength: len(c.GOP),
+	}
+
+	// Scene state.
+	sceneLeft := 0
+	activity := 0.0
+	// Within-scene AR(1) log-modulation with stationary std ModSigma.
+	innov := c.ModSigma * math.Sqrt(1-c.ModPhi*c.ModPhi)
+	mod := c.ModSigma * r.Norm()
+
+	for i := 0; i < c.Frames; i++ {
+		if sceneLeft == 0 {
+			// New scene: heavy-tailed duration, fresh activity level.
+			sceneLeft = int(r.Pareto(c.SceneAlpha, c.SceneMinFrames))
+			if sceneLeft < 1 {
+				sceneLeft = 1
+			}
+			activity = r.Gamma(c.ActivityShape, c.ActivityScale)
+			// A scene cut usually resets the modulation (new content).
+			mod = c.ModSigma * r.Norm()
+		}
+		sceneLeft--
+
+		mod = c.ModPhi*mod + innov*r.Norm()
+
+		ft := c.GOP[i%len(c.GOP)]
+		var scale float64
+		switch ft {
+		case trace.FrameI:
+			scale = c.IScale
+		case trace.FrameP:
+			scale = c.PScale
+		default:
+			scale = c.BScale
+		}
+		noise := math.Exp(c.FrameNoiseSigma * r.Norm())
+		size := activity * math.Exp(mod) * scale * noise
+		// MPEG frames always carry headers; floor at a small positive size.
+		if size < 64 {
+			size = 64
+		}
+		tr.Sizes[i] = math.Round(size)
+		tr.Types[i] = ft
+	}
+	return tr, nil
+}

@@ -1,0 +1,127 @@
+package mpegtrace
+
+import (
+	"math"
+	"testing"
+
+	"vbrsim/internal/stats"
+	"vbrsim/internal/trace"
+)
+
+func sliceTestTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, err := Generate(Config{Frames: 2000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestToSlicesConservation(t *testing.T) {
+	tr := sliceTestTrace(t)
+	sl, err := ToSlices(tr, SliceOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Len() != tr.Len()*15 {
+		t.Fatalf("slice count %d, want %d", sl.Len(), tr.Len()*15)
+	}
+	if sl.GOPLength != tr.GOPLength*15 {
+		t.Errorf("GOPLength = %d", sl.GOPLength)
+	}
+	if sl.FrameRate != tr.FrameRate*15 {
+		t.Errorf("FrameRate = %v", sl.FrameRate)
+	}
+	// Per-frame byte totals conserved exactly.
+	for i := 0; i < tr.Len(); i++ {
+		var sum float64
+		for j := 0; j < 15; j++ {
+			sum += sl.Sizes[i*15+j]
+		}
+		if math.Abs(sum-tr.Sizes[i]) > 1e-9 {
+			t.Fatalf("frame %d: slices sum %v, frame %v", i, sum, tr.Sizes[i])
+		}
+	}
+}
+
+func TestToSlicesTypeInheritance(t *testing.T) {
+	tr := sliceTestTrace(t)
+	sl, err := ToSlices(tr, SliceOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tr.Len(); i++ {
+		for j := 0; j < 15; j++ {
+			if sl.Types[i*15+j] != tr.Types[i] {
+				t.Fatalf("frame %d slice %d type mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestToSlicesSpatialVariation(t *testing.T) {
+	tr := sliceTestTrace(t)
+	bursty, err := ToSlices(tr, SliceOptions{Concentration: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth, err := ToSlices(tr, SliceOptions{Concentration: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower concentration means burstier slices: higher variance at equal
+	// mean.
+	vb := stats.Variance(bursty.Sizes)
+	vs := stats.Variance(smooth.Sizes)
+	if vb <= vs {
+		t.Errorf("burstiness ordering violated: %v vs %v", vb, vs)
+	}
+	mb, ms := stats.Mean(bursty.Sizes), stats.Mean(smooth.Sizes)
+	if math.Abs(mb-ms) > 0.01*ms {
+		t.Errorf("means differ: %v vs %v", mb, ms)
+	}
+}
+
+func TestToSlicesUntyped(t *testing.T) {
+	tr := &trace.Trace{Sizes: []float64{1000, 2000}, FrameRate: 30}
+	sl, err := ToSlices(tr, SliceOptions{SlicesPerFrame: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Types != nil {
+		t.Error("untyped input grew types")
+	}
+	if sl.Len() != 8 {
+		t.Errorf("len = %d", sl.Len())
+	}
+}
+
+func TestToSlicesValidation(t *testing.T) {
+	tr := &trace.Trace{Sizes: []float64{100}}
+	if _, err := ToSlices(tr, SliceOptions{SlicesPerFrame: -1}); err == nil {
+		t.Error("negative slices accepted")
+	}
+	if _, err := ToSlices(tr, SliceOptions{Concentration: -2}); err == nil {
+		t.Error("negative concentration accepted")
+	}
+	if _, err := ToSlices(&trace.Trace{}, SliceOptions{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestToSlicesDeterministic(t *testing.T) {
+	tr := sliceTestTrace(t)
+	a, err := ToSlices(tr, SliceOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ToSlices(tr, SliceOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] {
+			t.Fatalf("nondeterministic at slice %d", i)
+		}
+	}
+}

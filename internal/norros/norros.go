@@ -1,0 +1,134 @@
+// Package norros implements the fractional-Brownian storage model of
+// I. Norros, "A Storage Model with Self-Similar Input" (Queueing Systems
+// 16, 1994) — the paper's reference [23] and the standard analytic
+// benchmark for queues fed by self-similar traffic.
+//
+// Arrivals are modeled as fractional Brownian traffic
+//
+//	A(t) = m t + sqrt(v) Z(t),
+//
+// where Z is fractional Brownian motion with Hurst parameter H and v is the
+// variance coefficient (Var A(t) = v t^{2H}). For a server of rate C > m,
+// the stationary queue satisfies the Weibull-tail approximation obtained by
+// optimizing the single most likely overflow epoch:
+//
+//	P(Q > b) ~ Phi-bar( (C-m)^H b^{1-H} / (kappa(H) sqrt(v)) ),
+//	kappa(H) = H^H (1-H)^{1-H},
+//
+// with the cruder exponential form exp(-(C-m)^{2H} b^{2-2H} / (2 kappa^2 v)).
+// The decisive qualitative fact — overflow decays only as exp(-c b^{2-2H}),
+// not exponentially — is exactly what the paper's Fig. 17 demonstrates by
+// simulation.
+package norros
+
+import (
+	"errors"
+	"math"
+
+	"vbrsim/internal/acf"
+	"vbrsim/internal/dist"
+)
+
+// Params describes fractional Brownian traffic.
+type Params struct {
+	// MeanRate is m, the mean arrival volume per slot.
+	MeanRate float64
+	// VarCoeff is v in Var A(t) = v t^{2H}.
+	VarCoeff float64
+	// H is the Hurst parameter in (1/2, 1).
+	H float64
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.MeanRate <= 0 {
+		return errors.New("norros: non-positive mean rate")
+	}
+	if p.VarCoeff <= 0 {
+		return errors.New("norros: non-positive variance coefficient")
+	}
+	if p.H <= 0.5 || p.H >= 1 {
+		return errors.New("norros: H must lie in (1/2, 1)")
+	}
+	return nil
+}
+
+// Kappa returns kappa(H) = H^H (1-H)^{1-H}.
+func Kappa(h float64) float64 {
+	return math.Pow(h, h) * math.Pow(1-h, 1-h)
+}
+
+// OverflowProbability returns the Norros approximation of P(Q > b) for a
+// server of rate service > MeanRate: the Gaussian-tail (Phi-bar) form and
+// the cruder pure-exponential form.
+func (p Params) OverflowProbability(service, b float64) (phiForm, expForm float64, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if service <= p.MeanRate {
+		return 0, 0, errors.New("norros: service rate must exceed mean rate")
+	}
+	if b <= 0 {
+		return 1, 1, nil
+	}
+	surplus := service - p.MeanRate
+	x := math.Pow(surplus, p.H) * math.Pow(b, 1-p.H) / (Kappa(p.H) * math.Sqrt(p.VarCoeff))
+	phiForm = 0.5 * math.Erfc(x/math.Sqrt2)
+	expForm = math.Exp(-x * x / 2)
+	return phiForm, expForm, nil
+}
+
+// MostLikelyEpoch returns t* = H b / ((C-m)(1-H)), the time scale over
+// which an overflow of level b most probably builds up. It quantifies why
+// LRD losses are dominated by long, slow surges rather than instantaneous
+// bursts.
+func (p Params) MostLikelyEpoch(service, b float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if service <= p.MeanRate {
+		return 0, errors.New("norros: service rate must exceed mean rate")
+	}
+	return p.H * b / ((service - p.MeanRate) * (1 - p.H)), nil
+}
+
+// EffectiveBandwidth returns the minimal service rate C such that
+// P(Q > b) <= eps under the exponential-form approximation — Norros's
+// closed-form dimensioning rule:
+//
+//	C = m + (kappa sqrt(-2 ln eps) sqrt(v))^{1/H} * b^{-(1-H)/H}.
+func (p Params) EffectiveBandwidth(b, eps float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if b <= 0 || eps <= 0 || eps >= 1 {
+		return 0, errors.New("norros: need b > 0 and eps in (0,1)")
+	}
+	x := Kappa(p.H) * math.Sqrt(-2*math.Log(eps)) * math.Sqrt(p.VarCoeff)
+	return p.MeanRate + math.Pow(x, 1/p.H)*math.Pow(b, -(1-p.H)/p.H), nil
+}
+
+// FromComposite derives fractional-Brownian parameters from a fitted
+// marginal and composite ACF: the mean rate is the marginal mean, H comes
+// from the LRD exponent (H = 1 - beta/2), and the variance coefficient from
+// the asymptotic aggregate variance of a process with autocovariance
+// sigma^2 L k^{-beta}:
+//
+//	Var(sum_{i<=t} Y_i) ~ sigma^2 L t^{2H} / (H (2H-1)),
+//
+// so v = sigma^2 L / (H (2H-1)).
+func FromComposite(marginal dist.Distribution, variance float64, comp acf.Composite) (Params, error) {
+	if variance <= 0 {
+		return Params{}, errors.New("norros: non-positive marginal variance")
+	}
+	h := 1 - comp.Beta/2
+	if h <= 0.5 || h >= 1 {
+		return Params{}, errors.New("norros: composite beta outside the LRD range")
+	}
+	v := variance * comp.L / (h * (2*h - 1))
+	p := Params{MeanRate: marginal.Mean(), VarCoeff: v, H: h}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}

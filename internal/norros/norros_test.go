@@ -1,0 +1,180 @@
+package norros
+
+import (
+	"math"
+	"testing"
+
+	"vbrsim/internal/acf"
+	"vbrsim/internal/dist"
+)
+
+func TestValidate(t *testing.T) {
+	good := Params{MeanRate: 100, VarCoeff: 50, H: 0.8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{MeanRate: 0, VarCoeff: 1, H: 0.8},
+		{MeanRate: 1, VarCoeff: 0, H: 0.8},
+		{MeanRate: 1, VarCoeff: 1, H: 0.5},
+		{MeanRate: 1, VarCoeff: 1, H: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestKappa(t *testing.T) {
+	// kappa(1/2) = 1/2... actually (1/2)^(1/2)*(1/2)^(1/2) = 1/2.
+	if got := Kappa(0.5); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("Kappa(0.5) = %v, want 0.5", got)
+	}
+	// Symmetric: kappa(h) == kappa(1-h).
+	if math.Abs(Kappa(0.7)-Kappa(0.3)) > 1e-15 {
+		t.Error("kappa not symmetric")
+	}
+}
+
+func TestOverflowProbabilityShape(t *testing.T) {
+	p := Params{MeanRate: 100, VarCoeff: 2000, H: 0.85}
+	service := 150.0
+	prevPhi := 1.1
+	for _, b := range []float64{10, 50, 200, 1000, 5000} {
+		phi, expF, err := p.OverflowProbability(service, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if phi <= 0 || phi > 1 || expF <= 0 || expF > 1 {
+			t.Fatalf("b=%v: probabilities out of range: %v %v", b, phi, expF)
+		}
+		if phi >= prevPhi {
+			t.Fatalf("overflow probability not decreasing at b=%v", b)
+		}
+		if expF < phi {
+			t.Fatalf("exp form %v below phi form %v", expF, phi)
+		}
+		prevPhi = phi
+	}
+}
+
+func TestWeibullTailExponent(t *testing.T) {
+	// log P should scale like b^{2-2H}: doubling b multiplies -log P by
+	// 2^{2-2H}.
+	p := Params{MeanRate: 100, VarCoeff: 2000, H: 0.8}
+	service := 140.0
+	_, e1, err := p.OverflowProbability(service, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, e2, err := p.OverflowProbability(service, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := math.Log(e2) / math.Log(e1)
+	want := math.Pow(2, 2-2*p.H)
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("tail exponent ratio = %v, want %v", ratio, want)
+	}
+}
+
+func TestOverflowValidation(t *testing.T) {
+	p := Params{MeanRate: 100, VarCoeff: 2000, H: 0.8}
+	if _, _, err := p.OverflowProbability(90, 100); err == nil {
+		t.Error("overloaded server accepted")
+	}
+	if phi, _, err := p.OverflowProbability(150, 0); err != nil || phi != 1 {
+		t.Errorf("b=0 should give 1: %v %v", phi, err)
+	}
+}
+
+func TestMostLikelyEpochGrowsWithBuffer(t *testing.T) {
+	p := Params{MeanRate: 100, VarCoeff: 2000, H: 0.8}
+	t1, err := p.MostLikelyEpoch(150, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := p.MostLikelyEpoch(150, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 != 10*t1 {
+		t.Errorf("epoch not linear in b: %v vs %v", t1, t2)
+	}
+	// Known closed form: t* = H b / ((C-m)(1-H)).
+	want := 0.8 * 100 / (50 * 0.2)
+	if math.Abs(t1-want) > 1e-12 {
+		t.Errorf("t* = %v, want %v", t1, want)
+	}
+}
+
+func TestEffectiveBandwidthRoundTrip(t *testing.T) {
+	p := Params{MeanRate: 100, VarCoeff: 2000, H: 0.8}
+	b, eps := 500.0, 1e-6
+	c, err := p.EffectiveBandwidth(b, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= p.MeanRate {
+		t.Fatalf("effective bandwidth %v below mean rate", c)
+	}
+	// Plugging C back must achieve exactly eps under the exp form.
+	_, expF, err := p.OverflowProbability(c, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Log(expF)-math.Log(eps)) > 1e-9 {
+		t.Errorf("round trip: P = %v, want %v", expF, eps)
+	}
+	if _, err := p.EffectiveBandwidth(-1, eps); err == nil {
+		t.Error("negative buffer accepted")
+	}
+	if _, err := p.EffectiveBandwidth(b, 2); err == nil {
+		t.Error("eps > 1 accepted")
+	}
+}
+
+func TestEffectiveBandwidthMonotonic(t *testing.T) {
+	p := Params{MeanRate: 100, VarCoeff: 2000, H: 0.85}
+	cSmall, _ := p.EffectiveBandwidth(100, 1e-6)
+	cBig, _ := p.EffectiveBandwidth(1000, 1e-6)
+	if cBig >= cSmall {
+		t.Errorf("larger buffer should need less bandwidth: %v vs %v", cSmall, cBig)
+	}
+	cLoose, _ := p.EffectiveBandwidth(100, 1e-2)
+	if cLoose >= cSmall {
+		t.Errorf("looser target should need less bandwidth: %v vs %v", cSmall, cLoose)
+	}
+}
+
+func TestFromComposite(t *testing.T) {
+	marginal, err := dist.NewEmpirical([]float64{100, 200, 300, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := acf.PaperComposite()
+	p, err := FromComposite(marginal, 5000, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.H != 0.9 {
+		t.Errorf("H = %v, want 0.9", p.H)
+	}
+	if p.MeanRate != 250 {
+		t.Errorf("mean = %v, want 250", p.MeanRate)
+	}
+	wantV := 5000 * comp.L / (0.9 * 0.8)
+	if math.Abs(p.VarCoeff-wantV) > 1e-9 {
+		t.Errorf("v = %v, want %v", p.VarCoeff, wantV)
+	}
+	// A composite at the SRD boundary (beta = 1, H = 1/2) must be rejected.
+	srd := comp
+	srd.Beta = 1.0
+	if _, err := FromComposite(marginal, 5000, srd); err == nil {
+		t.Error("beta = 1 accepted")
+	}
+	if _, err := FromComposite(marginal, 0, comp); err == nil {
+		t.Error("zero variance accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package queue
+
+import (
+	"math"
+	"testing"
+
+	"vbrsim/internal/rng"
+)
+
+func TestTraceOverflowCIValidation(t *testing.T) {
+	arr := make([]float64, 100)
+	if _, err := TraceOverflowCI(nil, 1, 1, 0, 4); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := TraceOverflowCI(arr, 1, 1, 100, 4); err == nil {
+		t.Error("warmup >= len accepted")
+	}
+	if _, err := TraceOverflowCI(arr, 1, 1, 0, 1); err == nil {
+		t.Error("single batch accepted")
+	}
+	if _, err := TraceOverflowCI(arr, 1, 1, 0, 200); err == nil {
+		t.Error("more batches than slots accepted")
+	}
+}
+
+func TestTraceOverflowCIMatchesPointEstimate(t *testing.T) {
+	r := rng.New(1)
+	arr := make([]float64, 100000)
+	for i := range arr {
+		arr[i] = r.Exp(1)
+	}
+	service, b := 1.25, 3.0
+	point, err := TraceOverflow(arr, service, b, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := TraceOverflowCI(arr, service, b, 1000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Batches != 20 {
+		t.Errorf("Batches = %d", ci.Batches)
+	}
+	// Batch mean of means ~ point estimate (up to trailing partial batch).
+	if math.Abs(ci.P-point) > 0.02 {
+		t.Errorf("batch P %v vs point %v", ci.P, point)
+	}
+	if ci.StdErr <= 0 || ci.HalfWidth95 <= ci.StdErr {
+		t.Errorf("bad uncertainty: %+v", ci)
+	}
+	// The true value should usually be inside a few half-widths.
+	if math.Abs(ci.P-point) > 4*ci.HalfWidth95+0.02 {
+		t.Errorf("point estimate far outside CI: %+v vs %v", ci, point)
+	}
+}
+
+func TestBatchCorrHighForLRDInput(t *testing.T) {
+	// SRD input: batch means nearly independent. LRD-style input
+	// (long Pareto on-periods): batch means visibly correlated — the
+	// paper's caveat.
+	r := rng.New(2)
+	srd := make([]float64, 200000)
+	for i := range srd {
+		srd[i] = r.Exp(1)
+	}
+	srdCI, err := TraceOverflowCI(srd, 1.25, 2, 1000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lrd := make([]float64, 200000)
+	level := 0.0
+	left := 0
+	for i := range lrd {
+		if left == 0 {
+			left = int(r.Pareto(1.2, 50))
+			level = r.Exp(1)
+		}
+		left--
+		lrd[i] = level + 0.1*r.Norm()
+		if lrd[i] < 0 {
+			lrd[i] = 0
+		}
+	}
+	var lrdMean float64
+	for _, v := range lrd {
+		lrdMean += v
+	}
+	lrdMean /= float64(len(lrd))
+	lrdCI, err := TraceOverflowCI(lrd, lrdMean/0.7, 2*lrdMean, 1000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(srdCI.BatchCorr) > 0.45 {
+		t.Errorf("SRD batch correlation = %v, want near 0", srdCI.BatchCorr)
+	}
+	if lrdCI.BatchCorr < srdCI.BatchCorr {
+		t.Errorf("LRD batch correlation (%v) not above SRD (%v)", lrdCI.BatchCorr, srdCI.BatchCorr)
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV hardens the CSV parser: arbitrary input must never panic, and
+// any trace it accepts must round-trip.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	tr := &Trace{
+		Sizes:     []float64{100, 200, 300},
+		Types:     []FrameType{FrameI, FrameB, FrameP},
+		FrameRate: 30,
+		GOPLength: 12,
+	}
+	if err := tr.WriteCSV(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("# frame,type,bytes fps=30 gop=12\n0,I,100\n"))
+	f.Add([]byte("0,?,1.5\n1,?,2.5\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("0,I,NaN\n"))
+	f.Add([]byte("0,I,-5\n"))
+	f.Add([]byte("not,a,trace,at,all\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted traces must satisfy the invariants Validate promises.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted trace fails Validate: %v", err)
+		}
+		// And must round-trip through the writer.
+		var buf bytes.Buffer
+		if err := got.WriteCSV(&buf); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+		if again.Len() != got.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", again.Len(), got.Len())
+		}
+	})
+}
+
+// FuzzReadBinary hardens the binary parser against corrupted headers and
+// truncated payloads.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	tr := &Trace{
+		Sizes:     []float64{100, 200, 300},
+		Types:     []FrameType{FrameI, FrameB, FrameP},
+		FrameRate: 30,
+		GOPLength: 12,
+	}
+	if err := tr.WriteBinary(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("VBR1"))
+	f.Add([]byte("XXXX0000"))
+	f.Add(seed.Bytes()[:10])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted trace fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := got.WriteBinary(&buf); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		again, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+		if again.Len() != got.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", again.Len(), got.Len())
+		}
+	})
+}

@@ -1,0 +1,334 @@
+package vbrsim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface the way the
+// README quick start does: generate a trace, fit the unified model,
+// synthesize traffic, and estimate an overflow probability two ways.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tr, err := GenerateMPEGTrace(MPEGTraceConfig{Frames: 1 << 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := tr.Summarize(); s.Frames != 1<<15 || s.MeanBytes <= 0 {
+		t.Fatalf("bad trace summary %+v", s)
+	}
+
+	// Hurst estimation on the raw trace.
+	h, vt, rs, err := EstimateHurst(tr.Sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h <= 0.5 || h >= 1 {
+		t.Errorf("H = %v", h)
+	}
+	if vt.H == 0 || rs.H == 0 {
+		t.Error("estimator details missing")
+	}
+
+	// Unified model on the I-frame subsequence.
+	model, err := Fit(tr.ByType(FrameI), FitOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := model.Generate(2000, 42, BackendAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syn) != 2000 {
+		t.Fatalf("synthesized %d frames", len(syn))
+	}
+
+	// Composite GOP model.
+	g, err := FitGOP(tr, FitOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synTr, err := g.Generate(2400, 43, BackendAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if synTr.Len() != 2400 || synTr.Types[0] != FrameI {
+		t.Fatal("bad composite trace")
+	}
+
+	// Queueing: plain MC vs IS on the same model.
+	service, err := ServiceForUtilization(model.MeanRate(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := model.Plan(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ArrivalSource{Plan: plan, Transform: model.Transform}
+	bufAbs := 10 * model.MeanRate()
+	mc, err := EstimateOverflowMC(src, service, bufAbs, 150, MCOptions{Replications: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := EstimateOverflowIS(ISConfig{
+		Plan: plan, Transform: model.Transform,
+		Service: service, Buffer: bufAbs, Horizon: 150,
+		Twist: 0.8, Replications: 2000, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.P > 0.01 && is.P > 0 {
+		if math.Abs(math.Log10(is.P)-math.Log10(mc.P)) > 0.5 {
+			t.Errorf("IS %v and MC %v disagree by more than half a decade", is.P, mc.P)
+		}
+	}
+
+	// Twist search and variance reduction report.
+	results, best, err := SearchTwist(ISConfig{
+		Plan: plan, Transform: model.Transform,
+		Service: service, Buffer: bufAbs, Horizon: 150,
+		Replications: 500, Seed: 5,
+	}, []float64{0.5, 1.0, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best >= 0 && VarianceReduction(results[best].Result) <= 0 {
+		t.Error("no variance reduction reported at the best twist")
+	}
+
+	// Transient estimation.
+	series, err := EstimateTransientIS(ISConfig{
+		Plan: plan, Transform: model.Transform,
+		Service: service, Buffer: bufAbs,
+		Twist: 0.8, Replications: 500, Seed: 6,
+	}, []int{50, 100, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("transient series len %d", len(series))
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	marginal, err := NewEmpirical([]float64{100, 200, 300, 400, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DAR1{Rho: 0.9, Marginal: marginal}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	path := d.ArrivalPath(NewRand(1), 100)
+	if len(path) != 100 {
+		t.Fatal("bad DAR1 path")
+	}
+	m := MMPP2{Rate0: 1, Rate1: 8, P01: 0.05, P10: 0.1}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanRate() <= 0 {
+		t.Fatal("bad MMPP mean")
+	}
+}
+
+func TestPublicLab(t *testing.T) {
+	lab := NewLab(LabConfig{Quick: true, Seed: 31})
+	res, err := lab.Run("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fig3" || len(res.Series) == 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestPublicExtensions(t *testing.T) {
+	// fGn / FARIMA generation.
+	x, err := GenerateFGN(0.85, 4096, 1)
+	if err != nil || len(x) != 4096 {
+		t.Fatalf("GenerateFGN: %v len %d", err, len(x))
+	}
+	y, err := GenerateFARIMA(0.3, 4096, 2)
+	if err != nil || len(y) != 4096 {
+		t.Fatalf("GenerateFARIMA: %v len %d", err, len(y))
+	}
+	if _, err := GenerateFARIMA(0.7, 100, 1); err == nil {
+		t.Error("bad d accepted")
+	}
+
+	// Local Whittle on the fGn path (short, so loose bound).
+	est, err := EstimateHurstWhittle(x, LocalWhittleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.H < 0.6 || est.H > 1 {
+		t.Errorf("Whittle H = %v on fGn(0.85)", est.H)
+	}
+
+	// TES baseline.
+	alpha, err := TESCalibrateAlpha(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marginal, err := NewEmpirical([]float64{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewTES(TESConfig{Alpha: alpha, Zeta: 0.5, Marginal: marginal}, NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := g.Path(100); len(p) != 100 {
+		t.Fatal("TES path")
+	}
+
+	// ATM segmentation + superposition.
+	cells, err := SegmentIntoCells([]float64{480, 96}, ATMCellPayload, 2)
+	if err != nil || len(cells) != 4 {
+		t.Fatalf("SegmentIntoCells: %v %v", err, cells)
+	}
+	super := Superposition{Base: TESSource{Cfg: TESConfig{Alpha: 0.3, Zeta: 0.5, Marginal: marginal}}, N: 4}
+	if p := super.ArrivalPath(NewRand(4), 50); len(p) != 50 {
+		t.Fatal("superposition path")
+	}
+
+	// Parametric marginal fitting.
+	r := NewRand(5)
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = r.Gamma(2, 1000)
+	}
+	if _, err := FitGammaPareto(sample, FitGammaOptions{}); err != nil {
+		t.Fatalf("FitGammaPareto: %v", err)
+	}
+	if _, err := HillTailIndex(sample, 100); err != nil {
+		t.Fatalf("HillTailIndex: %v", err)
+	}
+}
+
+func TestPublicRefine(t *testing.T) {
+	tr, err := GenerateMPEGTrace(MPEGTraceConfig{Frames: 1 << 16, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(tr.ByType(FrameI), FitOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Refine(RefineOptions{Rounds: 1, Replications: 10, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errors) == 0 {
+		t.Fatal("no refinement trajectory")
+	}
+}
+
+func TestPublicFARIMAAndFriends(t *testing.T) {
+	f, err := NewFARIMA(0.5, 0.3, -0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Hurst() != 0.8 {
+		t.Errorf("Hurst = %v", f.Hurst())
+	}
+	if f.At(0) != 1 || f.At(10) <= 0 {
+		t.Error("bad FARIMA ACF")
+	}
+	emp := make([]float64, 120)
+	for k := range emp {
+		emp[k] = f.At(k)
+	}
+	got, sse, err := FitFARIMA(emp, FitFARIMAOptions{D: 0.3, MaxLag: 80, Grid: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || sse > 0.5 {
+		t.Errorf("FitFARIMA sse=%v", sse)
+	}
+
+	// Batch means + KS.
+	r := NewRand(6)
+	arr := make([]float64, 50000)
+	for i := range arr {
+		arr[i] = r.Exp(1)
+	}
+	ci, err := TraceOverflowCI(arr, 1.3, 2, 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Batches != 10 || ci.StdErr < 0 {
+		t.Errorf("bad CI %+v", ci)
+	}
+	d, err := KolmogorovSmirnov(arr[:1000], arr[1000:2000])
+	if err != nil || d < 0 || d > 1 {
+		t.Errorf("KS = %v, %v", d, err)
+	}
+
+	// Norros from model params.
+	params := NorrosParams{MeanRate: 100, VarCoeff: 1000, H: 0.8}
+	p1, p2, err := params.OverflowProbability(130, 500)
+	if err != nil || p1 <= 0 || p2 < p1 {
+		t.Errorf("Norros: %v %v %v", p1, p2, err)
+	}
+
+	// Slice decomposition.
+	tr, err := GenerateMPEGTrace(MPEGTraceConfig{Frames: 1200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := ToSlices(tr, SliceOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Len() != tr.Len()*15 {
+		t.Errorf("slice count %d", sl.Len())
+	}
+}
+
+func TestPublicWrapperCoverage(t *testing.T) {
+	// Exercise the thin wrappers not touched elsewhere.
+	x, err := GenerateFGN(0.8, 1<<15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateHurstVT(x, VarianceTimeOptions{}); err != nil {
+		t.Errorf("EstimateHurstVT: %v", err)
+	}
+	if _, err := EstimateHurstRS(x, RSOptions{}); err != nil {
+		t.Errorf("EstimateHurstRS: %v", err)
+	}
+
+	q := LindleyEvolve(0, []float64{5, 0, 3}, 2)
+	if len(q) != 3 || q[0] != 3 {
+		t.Errorf("LindleyEvolve = %v", q)
+	}
+
+	var src PathSource = PathSourceFunc(func(r *Rand, k int) []float64 {
+		out := make([]float64, k)
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	})
+	res, err := EstimateOverflowMC(src, 2, 0.5, 10, MCOptions{Replications: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Errorf("deterministic underload overflowed: %v", res.P)
+	}
+}
+
+func TestPublicTransform(t *testing.T) {
+	marginal, err := NewEmpirical([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewTransform(marginal)
+	if y := h.Apply(0); y < 1 || y > 10 {
+		t.Errorf("h(0) = %v outside sample range", y)
+	}
+}
