@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet ci bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short-mode race run: the heavy fixtures (20k-sample plans, sample-ACF
+# property tests) are gated behind testing.Short so this stays fast.
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+ci:
+	./scripts/ci.sh
+
+# Runs the ablation suite and writes machine-readable BENCH_1.json.
+bench:
+	$(GO) run ./cmd/bench
+
+clean:
+	$(GO) clean ./...

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"vbrsim/internal/acf"
+	"vbrsim/internal/benchsuite"
 	"vbrsim/internal/daviesharte"
 	"vbrsim/internal/experiments"
 	"vbrsim/internal/hosking"
@@ -188,6 +189,41 @@ func BenchmarkAblationCompositeVsSingle(b *testing.B) {
 			b.ReportMetric(typeMeanError(tr, syn), "type-mean-err")
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path ablation benches (DESIGN.md Section 5). The measurement bodies
+// live in internal/benchsuite so that cmd/bench reports the exact same
+// numbers to BENCH_1.json.
+
+// BenchmarkAblationFlatVsRagged compares path generation through the flat
+// single-allocation plan layout against the seed's ragged [][]float64
+// layout (bit-identical output, pure memory-layout difference).
+func BenchmarkAblationFlatVsRagged(b *testing.B) {
+	b.Run("flat", benchsuite.BenchFlatPlanPath)
+	b.Run("ragged", benchsuite.BenchRaggedPlanPath)
+}
+
+// BenchmarkAblationTruncatedAR compares exact O(n^2) Hosking generation
+// against the truncated-AR(p) fast path at paper-overflow scale
+// (n = 20000, induced ACF error bounded by 0.02).
+func BenchmarkAblationTruncatedAR(b *testing.B) {
+	b.Run("exact", benchsuite.BenchExactPath20000)
+	b.Run("truncated", benchsuite.BenchTruncatedPath20000)
+}
+
+// BenchmarkAblationParallelPlan compares serial and parallel (chunked,
+// bit-identical) Durbin-Levinson plan construction.
+func BenchmarkAblationParallelPlan(b *testing.B) {
+	b.Run("serial", benchsuite.BenchNewPlanSerial)
+	b.Run("parallel", benchsuite.BenchNewPlanParallel)
+}
+
+// BenchmarkAblationPlanCache compares a cold plan-cache miss (full
+// Durbin-Levinson build) against a warm hit (fingerprint + shared plan).
+func BenchmarkAblationPlanCache(b *testing.B) {
+	b.Run("cold", benchsuite.BenchPlanCacheCold)
+	b.Run("warm", benchsuite.BenchPlanCacheWarm)
 }
 
 // typeMeanError sums the relative per-frame-type mean errors between traces.

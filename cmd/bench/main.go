@@ -1,0 +1,108 @@
+// Command bench runs the fast-path ablation benchmark suite outside of
+// `go test` and writes the results as machine-readable JSON, so before/after
+// performance numbers can be committed and diffed across PRs.
+//
+// Usage:
+//
+//	go run ./cmd/bench                 # writes BENCH_1.json
+//	go run ./cmd/bench -o out.json -benchtime 2s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"vbrsim/internal/benchsuite"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+// entry is one benchmark's measurement in the JSON report.
+type entry struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	N           int                `json:"n"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// report is the BENCH_1.json schema: environment header plus one entry per
+// benchmark, keyed by name.
+type report struct {
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Date       string           `json:"date"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+// run executes the tool; split from main for testability.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("o", "BENCH_1.json", "output JSON file")
+		benchtime = fs.Duration("benchtime", time.Second, "target time per benchmark")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// testing.Benchmark honours the package-level -test.benchtime flag;
+	// outside `go test` it must be registered (testing.Init) and set by hand.
+	testing.Init()
+	if err := flag.CommandLine.Parse([]string{"-test.benchtime", benchtime.String()}); err != nil {
+		return err
+	}
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: make(map[string]entry),
+	}
+	for _, bm := range benchsuite.Suite() {
+		fmt.Fprintf(stdout, "%-28s ", bm.Name)
+		res := testing.Benchmark(bm.F)
+		e := entry{
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			N:           res.N,
+		}
+		if len(res.Extra) > 0 {
+			e.Extra = make(map[string]float64, len(res.Extra))
+			for k, v := range res.Extra {
+				e.Extra[k] = v
+			}
+		}
+		rep.Benchmarks[bm.Name] = e
+		fmt.Fprintf(stdout, "%12.0f ns/op %8d B/op %6d allocs/op\n", e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	return nil
+}

@@ -34,12 +34,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out    = fs.String("out", "experiment-data", "output directory for .dat files")
-		quick  = fs.Bool("quick", false, "reduced sweeps (for smoke testing)")
-		frames = fs.Int("frames", 0, "synthetic empirical trace length (0 = default; paper: 238626)")
-		seed   = fs.Uint64("seed", 1995, "master seed")
-		reps   = fs.Int("reps", 0, "Monte-Carlo/IS replications (0 = default 1000)")
-		only   = fs.String("only", "", "comma-separated exhibit ids (default: all)")
+		out     = fs.String("out", "experiment-data", "output directory for .dat files")
+		quick   = fs.Bool("quick", false, "reduced sweeps (for smoke testing)")
+		frames  = fs.Int("frames", 0, "synthetic empirical trace length (0 = default; paper: 238626)")
+		seed    = fs.Uint64("seed", 1995, "master seed")
+		reps    = fs.Int("reps", 0, "Monte-Carlo/IS replications (0 = default 1000)")
+		only    = fs.String("only", "", "comma-separated exhibit ids (default: all)")
+		fast    = fs.Bool("fast", false, "use the truncated-AR Hosking fast path (extends Fig 16/17 to paper-scale buffers)")
+		fastTol = fs.Float64("fast-tol", 0, "fast-path partial-correlation cutoff (0 = default 1e-3)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Seed:         *seed,
 		Replications: *reps,
 		Quick:        *quick,
+		FastPath:     *fast,
+		FastTol:      *fastTol,
 	})
 
 	ids := lab.IDs()

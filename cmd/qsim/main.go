@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"vbrsim/internal/core"
+	"vbrsim/internal/hosking"
 	"vbrsim/internal/impsample"
 	"vbrsim/internal/queue"
 	"vbrsim/internal/stats"
@@ -52,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traceDriven = fs.Bool("trace-driven", false, "estimate from the raw trace itself (one long replication)")
 		batches     = fs.Int("batches", 0, "with -trace-driven: report a batch-means CI over this many batches")
 		sources     = fs.Int("sources", 1, "number of multiplexed sources (plain MC only when > 1)")
+		fast        = fs.Bool("fast", false, "use the truncated-AR Hosking fast path (O(p) per step, horizons beyond the plan limit)")
+		fastTol     = fs.Float64("fast-tol", 0, "fast-path partial-correlation cutoff (0 = default 1e-3)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,7 +108,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if k <= 0 {
 		k = int(10 * *bufNorm)
 	}
-	plan, err := m.Plan(k)
+	var trunc *hosking.Truncated
+	if *fast {
+		trunc, err = m.TruncatedPlan(k, *fastTol)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "fast path: truncated AR(%d), max induced ACF error %.3g\n",
+			trunc.Order(), trunc.MaxACFError())
+	}
+	planLen := k
+	if trunc != nil {
+		planLen = trunc.Plan().Len() // already cached; avoids a second exact plan
+	}
+	plan, err := m.Plan(planLen)
 	if err != nil {
 		return err
 	}
@@ -118,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		src := queue.Superposition{
-			Base: core.ArrivalSource{Plan: plan, Transform: m.Transform},
+			Base: core.ArrivalSource{Plan: plan, Fast: trunc, Transform: m.Transform},
 			N:    *sources,
 		}
 		res, err := queue.EstimateOverflow(src, service, *bufNorm*aggMean, k,
@@ -139,7 +155,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	bufAbs := *bufNorm * m.MeanRate()
 	cfg := impsample.Config{
-		Plan: plan, Transform: m.Transform,
+		Plan: plan, FastPlan: trunc, Transform: m.Transform,
 		Service: service, Buffer: bufAbs, Horizon: k,
 		Twist: *twist, Replications: *reps, Seed: *seed,
 	}

@@ -34,15 +34,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in      = fs.String("i", "", "input trace (csv or bin)")
-		frames  = fs.Int("frames", 1<<16, "synthetic frames to generate")
-		seed    = fs.Uint64("seed", 1, "generation seed")
-		gop     = fs.Bool("gop", true, "use the composite I-B-P model when the trace has types")
-		out     = fs.String("o", "", "write the synthetic trace here (csv or bin)")
-		cmpOut  = fs.String("compare-out", "", "write <prefix>-{acf,hist,qq}.dat comparison files")
-		acfLags = fs.Int("acf-lags", 490, "ACF comparison lags")
+		in          = fs.String("i", "", "input trace (csv or bin)")
+		frames      = fs.Int("frames", 1<<16, "synthetic frames to generate")
+		seed        = fs.Uint64("seed", 1, "generation seed")
+		gop         = fs.Bool("gop", true, "use the composite I-B-P model when the trace has types")
+		out         = fs.String("o", "", "write the synthetic trace here (csv or bin)")
+		cmpOut      = fs.String("compare-out", "", "write <prefix>-{acf,hist,qq}.dat comparison files")
+		acfLags     = fs.Int("acf-lags", 490, "ACF comparison lags")
+		backendName = fs.String("backend", "auto", "background generator: auto, hosking, daviesharte, or hosking-fast")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	backend, err := parseBackend(*backendName)
+	if err != nil {
 		return err
 	}
 	if *in == "" {
@@ -59,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		syn, err = g.Generate(*frames, *seed, core.BackendAuto)
+		syn, err = g.Generate(*frames, *seed, backend)
 		if err != nil {
 			return err
 		}
@@ -68,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		sizes, err := m.Generate(*frames, *seed, core.BackendAuto)
+		sizes, err := m.Generate(*frames, *seed, backend)
 		if err != nil {
 			return err
 		}
@@ -132,6 +137,20 @@ func writeComparisons(prefix string, stderr io.Writer, emp, syn *trace.Trace, ea
 			fmt.Fprintf(f, "%g\t%g\n", qe[i], qs[i])
 		}
 	})
+}
+
+func parseBackend(name string) (core.Backend, error) {
+	switch strings.ToLower(name) {
+	case "", "auto":
+		return core.BackendAuto, nil
+	case "hosking":
+		return core.BackendHosking, nil
+	case "daviesharte", "davies-harte":
+		return core.BackendDaviesHarte, nil
+	case "hosking-fast", "fast":
+		return core.BackendHoskingFast, nil
+	}
+	return 0, fmt.Errorf("unknown -backend %q (want auto, hosking, daviesharte, or hosking-fast)", name)
 }
 
 func readTrace(path string) (*trace.Trace, error) {

@@ -45,11 +45,22 @@ const (
 	BackendHosking
 	// BackendDaviesHarte forces the circulant-embedding sampler.
 	BackendDaviesHarte
+	// BackendHoskingFast uses the truncated-AR(p) Hosking fast path: exact
+	// conditional sampling up to the truncation order, frozen O(p) AR steps
+	// beyond it, any length. Falls back to the exact plan when the partial
+	// correlations have not decayed at the plan length.
+	BackendHoskingFast
 )
 
 // autoHoskingLimit is the path length above which BackendAuto switches from
-// Hosking to Davies-Harte.
+// Hosking to Davies-Harte. It is also the plan length the fast path derives
+// its truncation from.
 const autoHoskingLimit = 4096
+
+// truncPlanLenMin is the smallest exact plan TruncatedPlan builds: long
+// enough for the partial correlations of the paper's LRD models to fall
+// below the truncation cutoff.
+const truncPlanLenMin = 1024
 
 // FitOptions tunes the pipeline.
 type FitOptions struct {
@@ -163,7 +174,7 @@ func Fit(sizes []float64, opt FitOptions) (*Model, error) {
 		}
 	}
 	planLen := 4 * maxMeasureLag
-	plan, err := hosking.NewPlan(m.Foreground, planLen)
+	plan, err := hosking.CachedPlan(m.Foreground, planLen)
 	if err != nil {
 		return nil, fmt.Errorf("core: step 3 (attenuation plan): %w", err)
 	}
@@ -212,9 +223,36 @@ func trimNonPositiveTail(a []float64) []float64 {
 // foreground process.
 func (m *Model) MeanRate() float64 { return m.Marginal.Mean() }
 
-// Plan builds a background-process generation plan of the given length.
+// Plan builds a background-process generation plan of the given length,
+// sharing identical plans through the process-wide cache: repeated fits and
+// experiment pipelines asking for the same (ACF, length) get the same plan
+// back instead of re-running the O(n^2) recursion.
 func (m *Model) Plan(n int) (*hosking.Plan, error) {
-	return hosking.NewPlan(m.Background, n)
+	return hosking.CachedPlan(m.Background, n)
+}
+
+// TruncatedPlan builds the truncated-AR(p) fast generation view for paths
+// up to length n. The underlying exact plan length is capped at
+// autoHoskingLimit — the whole point of truncation is that generation may
+// run past the plan. tol is the partial-correlation cutoff (0 selects the
+// default); the induced ACF error is measured and exposed on the result.
+func (m *Model) TruncatedPlan(n int, tol float64) (*hosking.Truncated, error) {
+	// The truncated generator is horizon-unbounded, so the exact plan only
+	// has to be long enough for the partial correlations to die out (for
+	// the paper's LRD composite that takes a few hundred lags): clamp to
+	// [truncPlanLenMin, autoHoskingLimit] independent of n.
+	planLen := n
+	if planLen < truncPlanLenMin {
+		planLen = truncPlanLenMin
+	}
+	if planLen > autoHoskingLimit {
+		planLen = autoHoskingLimit
+	}
+	plan, err := hosking.CachedPlan(m.Background, planLen)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Truncate(hosking.TruncateOptions{Tol: tol})
 }
 
 // Generate synthesizes n frames of foreground traffic.
@@ -232,11 +270,37 @@ func generateBackground(model acf.Model, n int, seed uint64, backend Backend) ([
 	useHosking := backend == BackendHosking ||
 		(backend == BackendAuto && n <= autoHoskingLimit)
 	if useHosking {
-		plan, err := hosking.NewPlan(model, n)
+		plan, err := hosking.CachedPlan(model, n)
 		if err != nil {
 			return nil, err
 		}
 		return plan.Path(rng.New(seed), n), nil
+	}
+	if backend == BackendHoskingFast {
+		planLen := n
+		if planLen < truncPlanLenMin {
+			planLen = truncPlanLenMin
+		}
+		if planLen > autoHoskingLimit {
+			planLen = autoHoskingLimit
+		}
+		plan, err := hosking.CachedPlan(model, planLen)
+		if err != nil {
+			return nil, err
+		}
+		if tr, terr := plan.Truncate(hosking.TruncateOptions{}); terr == nil {
+			return tr.Path(rng.New(seed), n), nil
+		}
+		// Tail not decayed within the plan: fall back to exact generation,
+		// which requires the plan to cover the whole path.
+		if n <= planLen {
+			return plan.Path(rng.New(seed), n), nil
+		}
+		full, err := hosking.CachedPlan(model, n)
+		if err != nil {
+			return nil, err
+		}
+		return full.Path(rng.New(seed), n), nil
 	}
 	plan, err := daviesharte.NewPlan(model, n, daviesharte.Options{AllowApprox: true})
 	if err != nil {
@@ -362,13 +426,31 @@ func (g *GOPModel) Generate(n int, seed uint64, backend Backend) (*trace.Trace, 
 
 // ArrivalSource adapts a fitted Model to the queue.PathSource interface:
 // each replication generates a fresh background path through the shared
-// plan and maps it through the transform.
+// plan and maps it through the transform. When Fast is set it is used
+// instead of Plan, generating in O(p) per step past the truncation order
+// (and past the plan length).
 type ArrivalSource struct {
 	Plan      *hosking.Plan
 	Transform transform.T
+	Fast      *hosking.Truncated
 }
 
 // ArrivalPath generates one replication's arrivals.
 func (s ArrivalSource) ArrivalPath(r *rng.Source, k int) []float64 {
-	return s.Transform.ApplySlice(s.Plan.Path(r, k))
+	buf := make([]float64, k)
+	s.ArrivalPathInto(r, buf)
+	return buf
+}
+
+// ArrivalPathInto generates one replication's arrivals into a caller-owned
+// buffer (queue.PathSourceInto): the background path is written in place
+// and transformed in place, so steady-state estimation performs no per-
+// replication path allocations.
+func (s ArrivalSource) ArrivalPathInto(r *rng.Source, buf []float64) {
+	if s.Fast != nil {
+		s.Fast.Generate(r, buf)
+	} else {
+		s.Plan.Generate(r, buf)
+	}
+	s.Transform.ApplyTo(buf, buf)
 }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"vbrsim/internal/rng"
+	"vbrsim/internal/trace"
+)
+
+func TestArrivalPathIntoMatchesArrivalPath(t *testing.T) {
+	tr := testTrace(t, 1<<16)
+	m, err := Fit(tr.ByType(trace.FrameI), FitOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := m.Plan(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := m.TruncatedPlan(200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []ArrivalSource{
+		{Plan: plan, Transform: m.Transform},
+		{Plan: plan, Fast: fast, Transform: m.Transform},
+	} {
+		alloc := src.ArrivalPath(rng.New(17), 200)
+		buf := make([]float64, 200)
+		for i := range buf {
+			buf[i] = -1e9 // stale content must be overwritten
+		}
+		src.ArrivalPathInto(rng.New(17), buf)
+		for i := range alloc {
+			if alloc[i] != buf[i] {
+				t.Fatalf("fast=%v slot %d: ArrivalPath %v vs ArrivalPathInto %v",
+					src.Fast != nil, i, alloc[i], buf[i])
+			}
+		}
+	}
+}
+
+func TestTruncatedPlanGeneratesBeyondPlanLength(t *testing.T) {
+	tr := testTrace(t, 1<<16)
+	m, err := Fit(tr.ByType(trace.FrameI), FitOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := m.TruncatedPlan(300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Order() <= 0 {
+		t.Fatalf("order = %d", fast.Order())
+	}
+	src := ArrivalSource{Fast: fast, Transform: m.Transform}
+	// Horizon far beyond the exact plan's length must work on the fast path.
+	path := src.ArrivalPath(newTestRand(), 5000)
+	if len(path) != 5000 {
+		t.Fatalf("path len %d", len(path))
+	}
+	for _, v := range path {
+		if v < 0 {
+			t.Fatal("negative arrival")
+		}
+	}
+}
+
+func TestGenerateBackendHoskingFast(t *testing.T) {
+	tr := testTrace(t, 1<<16)
+	m, err := Fit(tr.ByType(trace.FrameI), FitOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := m.Generate(6000, 9, BackendHoskingFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 6000 {
+		t.Fatalf("len = %d", len(sizes))
+	}
+	for _, v := range sizes {
+		if v < 0 {
+			t.Fatal("negative frame size")
+		}
+	}
+}

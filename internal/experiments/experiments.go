@@ -81,6 +81,15 @@ type Config struct {
 	// Quick shrinks sweeps (fewer buffer sizes, shorter horizons, fewer
 	// replications) for benchmarks and smoke tests.
 	Quick bool
+	// FastPath switches the Section 4 queueing experiments to the
+	// truncated-AR(p) Hosking fast path: per-step cost drops from O(k) to
+	// O(p), and (outside Quick mode) Fig 16/17 extend their buffer sweeps
+	// to paper-scale horizons beyond the exact-plan limit. The truncation
+	// order and measured ACF error are recorded in the exhibit notes.
+	FastPath bool
+	// FastTol is the partial-correlation cutoff for FastPath truncation;
+	// 0 selects the hosking default (1e-3).
+	FastTol float64
 }
 
 func (c Config) withDefaults() Config {
@@ -370,7 +379,7 @@ func (l *Lab) Fig7() (*Result, error) {
 	if l.cfg.Quick {
 		pathLen, reps, maxLag = 600, 8, 200
 	}
-	plan, err := hosking.NewPlan(m.Foreground, pathLen)
+	plan, err := hosking.CachedPlan(m.Foreground, pathLen)
 	if err != nil {
 		return nil, err
 	}
@@ -563,20 +572,60 @@ func (l *Lab) Fig13() (*Result, error) {
 type queueSetup struct {
 	model    *core.Model
 	plan     *hosking.Plan
+	fast     *hosking.Truncated // non-nil when Config.FastPath is on
 	meanRate float64
 }
 
-// newQueueSetup builds a background plan long enough for the horizon.
+// fastPlanLen bounds the exact-plan length backing the fast path: long
+// horizons are generated past the plan by the frozen AR row, and short
+// horizons still get a plan long enough for the truncation order to fit.
+const (
+	fastPlanLenMax = 4096
+	fastPlanLenMin = 1024
+)
+
+// newQueueSetup builds a background plan long enough for the horizon. With
+// FastPath the plan length is decoupled from the horizon (capped at
+// fastPlanLenMax) and a truncated-AR view is derived from it; the
+// Durbin-Levinson recursion is incremental, so conditional quantities below
+// the truncation order are bit-identical to the exact plan's regardless of
+// the differing plan length.
 func (l *Lab) newQueueSetup(horizon int) (*queueSetup, error) {
 	m, err := l.IModel()
 	if err != nil {
 		return nil, err
 	}
-	plan, err := m.Plan(horizon)
+	planLen := horizon
+	if l.cfg.FastPath {
+		if planLen < fastPlanLenMin {
+			planLen = fastPlanLenMin
+		}
+		if planLen > fastPlanLenMax {
+			planLen = fastPlanLenMax
+		}
+	}
+	plan, err := m.Plan(planLen)
 	if err != nil {
 		return nil, err
 	}
-	return &queueSetup{model: m, plan: plan, meanRate: m.MeanRate()}, nil
+	qs := &queueSetup{model: m, plan: plan, meanRate: m.MeanRate()}
+	if l.cfg.FastPath {
+		fast, err := plan.Truncate(hosking.TruncateOptions{Tol: l.cfg.FastTol})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fast path: %w", err)
+		}
+		qs.fast = fast
+	}
+	return qs, nil
+}
+
+// fastNote records the fast-path parameters on an exhibit.
+func (r *Result) fastNote(tr *hosking.Truncated) {
+	if tr == nil {
+		return
+	}
+	r.AddNote("fast path: truncated AR(%d), max induced ACF error %.3g over the plan window",
+		tr.Order(), tr.MaxACFError())
 }
 
 // Fig14 regenerates the normalized-variance valley over the twisted mean m*
@@ -599,6 +648,7 @@ func (l *Lab) Fig14() (*Result, error) {
 	bufAbs := 25 * qs.meanRate // normalized buffer size 25
 	cfg := impsample.Config{
 		Plan:         qs.plan,
+		FastPlan:     qs.fast,
 		Transform:    qs.model.Transform,
 		Service:      service,
 		Buffer:       bufAbs,
@@ -632,6 +682,7 @@ func (l *Lab) Fig14() (*Result, error) {
 		r.AddNote("valley at m* = %.1f with P = %.3g, variance reduction %.0fx (paper: m* = 3.2, ~1000x)",
 			results[best].Twist, results[best].Result.P, vr)
 	}
+	r.fastNote(qs.fast)
 	return r, nil
 }
 
@@ -655,6 +706,7 @@ func (l *Lab) Fig15() (*Result, error) {
 	bufAbs := 200 * qs.meanRate
 	base := impsample.Config{
 		Plan:         qs.plan,
+		FastPlan:     qs.fast,
 		Transform:    qs.model.Transform,
 		Service:      service,
 		Buffer:       bufAbs,
@@ -684,6 +736,7 @@ func (l *Lab) Fig15() (*Result, error) {
 	}
 	r.Series = append(r.Series, se, sf)
 	r.AddNote("full-buffer start converges from above, empty-buffer from below, meeting at steady state (paper Fig. 15)")
+	r.fastNote(qs.fast)
 	return r, nil
 }
 
@@ -704,6 +757,10 @@ func (l *Lab) Fig16() (*Result, error) {
 	if l.cfg.Quick {
 		buffers = []float64{25, 75, 150}
 		utils = []float64{0.4, 0.8}
+	} else if l.cfg.FastPath {
+		// Paper-scale extension: horizons past the exact-plan limit are
+		// exactly what the O(p) fast path affords.
+		buffers = append(buffers, 375, 500)
 	}
 	maxHorizon := int(10 * buffers[len(buffers)-1])
 	qs, err := l.newQueueSetup(maxHorizon)
@@ -726,6 +783,7 @@ func (l *Lab) Fig16() (*Result, error) {
 		for _, b := range buffers {
 			cfg := impsample.Config{
 				Plan:         qs.plan,
+				FastPlan:     qs.fast,
 				Transform:    qs.model.Transform,
 				Service:      service,
 				Buffer:       b * qs.meanRate,
@@ -758,6 +816,7 @@ func (l *Lab) Fig16() (*Result, error) {
 	}
 	r.AddNote("loss decays slower than exponentially in b; higher utilization shifts curves up (paper Fig. 16)")
 	r.AddNote("trace-driven curves use one long replication, so they diverge from the model at low utilization (as the paper observes)")
+	r.fastNote(qs.fast)
 	return r, nil
 }
 
@@ -768,6 +827,8 @@ func (l *Lab) Fig17() (*Result, error) {
 	buffers := []float64{25, 50, 75, 100, 150, 200, 250}
 	if l.cfg.Quick {
 		buffers = []float64{25, 75, 150}
+	} else if l.cfg.FastPath {
+		buffers = append(buffers, 375, 500)
 	}
 	util := 0.6
 	maxHorizon := int(10 * buffers[len(buffers)-1])
@@ -789,11 +850,12 @@ func (l *Lab) Fig17() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	srdPlan, err := hosking.NewPlan(srdBG, maxHorizon)
+	variantPlanLen := qs.plan.Len() // matches the fast-path cap when active
+	srdPlan, err := hosking.CachedPlan(srdBG, variantPlanLen)
 	if err != nil {
 		return nil, err
 	}
-	fgnPlan, err := hosking.NewPlan(fgnBG, maxHorizon)
+	fgnPlan, err := hosking.CachedPlan(fgnBG, variantPlanLen)
 	if err != nil {
 		return nil, err
 	}
@@ -801,10 +863,20 @@ func (l *Lab) Fig17() (*Result, error) {
 	variants := []struct {
 		name string
 		plan *hosking.Plan
+		fast *hosking.Truncated
 	}{
-		{"SRD+LRD (unified model)", qs.plan},
-		{"SRD only", srdPlan},
-		{"fGn background only", fgnPlan},
+		{"SRD+LRD (unified model)", qs.plan, qs.fast},
+		{"SRD only", srdPlan, nil},
+		{"fGn background only", fgnPlan, nil},
+	}
+	if l.cfg.FastPath {
+		for vi := 1; vi < len(variants); vi++ {
+			fast, err := variants[vi].plan.Truncate(hosking.TruncateOptions{Tol: l.cfg.FastTol})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fast path (%s): %w", variants[vi].name, err)
+			}
+			variants[vi].fast = fast
+		}
 	}
 	r := &Result{ID: "fig17", Title: "Overflow probability vs buffer size for four cases (util 0.6)"}
 	for vi, v := range variants {
@@ -812,6 +884,7 @@ func (l *Lab) Fig17() (*Result, error) {
 		for _, b := range buffers {
 			cfg := impsample.Config{
 				Plan:         v.plan,
+				FastPlan:     v.fast,
 				Transform:    m.Transform,
 				Service:      service,
 				Buffer:       b * qs.meanRate,
@@ -846,6 +919,7 @@ func (l *Lab) Fig17() (*Result, error) {
 	}
 	r.Series = append(r.Series, tr)
 	r.AddNote("expected ordering at large b: SRD-only decays fastest; SRD+LRD tracks the trace; fGn-only underestimates loss at small b (paper Fig. 17)")
+	r.fastNote(qs.fast)
 	return r, nil
 }
 
@@ -886,6 +960,7 @@ func (l *Lab) ExtNorros() (*Result, error) {
 	for _, b := range buffers {
 		cfg := impsample.Config{
 			Plan:         qs.plan,
+			FastPlan:     qs.fast,
 			Transform:    m.Transform,
 			Service:      service,
 			Buffer:       b * qs.meanRate,

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastLab shares fast-path artifacts across the smoke tests below.
+var fastLab = NewLab(Config{Quick: true, Seed: 99, FastPath: true})
+
+// hasFastNote reports whether the exhibit recorded the truncated-AR note.
+func hasFastNote(notes []string) bool {
+	for _, n := range notes {
+		if strings.Contains(n, "fast path: truncated AR(") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFastPathFig14 checks that the IS twist search runs end to end on the
+// truncated-AR fast path and reports it in the notes.
+func TestFastPathFig14(t *testing.T) {
+	r, err := fastLab.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFastNote(r.Notes) {
+		t.Errorf("fast-path note missing from %v", r.Notes)
+	}
+	if len(r.Series) == 0 || len(r.Series[0].X) == 0 {
+		t.Error("no twist-search series")
+	}
+}
+
+// TestFastPathFig16 checks the overflow-vs-buffer exhibit still produces
+// (weakly) decreasing simulation curves under the fast path.
+func TestFastPathFig16(t *testing.T) {
+	r, err := fastLab.Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFastNote(r.Notes) {
+		t.Errorf("fast-path note missing from %v", r.Notes)
+	}
+	for _, s := range r.Series {
+		if !strings.HasPrefix(s.Name, "simulation") {
+			continue
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+0.35 {
+				t.Errorf("%s: overflow increased with buffer: %v", s.Name, s.Y)
+				break
+			}
+		}
+	}
+}
+
+// TestFastPathFig17 checks the model-comparison exhibit completes with the
+// truncated variants substituted in.
+func TestFastPathFig17(t *testing.T) {
+	r, err := fastLab.Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) == 0 {
+		t.Error("no series")
+	}
+}

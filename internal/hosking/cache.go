@@ -1,0 +1,359 @@
+// Process-wide plan cache. Plan construction is O(n^2); the experiment
+// pipelines and repeated Fit/Generate calls keep asking for the same
+// (ACF model, length) plans. The cache is keyed by a fingerprint of the
+// *evaluated* autocorrelation table — not the model value — so any two
+// models that agree on the first n lags share a plan, and models carrying
+// slices or closures need no comparability. Comparable model values
+// additionally get an identity fast path so warm hits skip the O(n) table
+// evaluation. Concurrent requests for the same plan are single-flighted:
+// one goroutine builds, the rest wait.
+//
+// Because a hash key can collide, every hit is verified: the cached plan's
+// autocorrelation table must match the requested model bitwise, otherwise
+// the request falls through to a direct build (bypassing the cache).
+//
+// An optional disk layer reuses the binary plan serialization: with a
+// directory configured, misses first try plan-<fingerprint>-<n>.hplan and
+// successful builds are written back best-effort.
+package hosking
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+
+	"vbrsim/internal/acf"
+)
+
+// DefaultCacheCap is the eviction cap of the shared cache: the number of
+// distinct (model, length) plans kept in memory.
+const DefaultCacheCap = 16
+
+// Shared is the process-wide plan cache used by CachedPlan and, through it,
+// by core.Model and the experiment pipelines.
+var Shared = NewPlanCache(DefaultCacheCap)
+
+// CachedPlan returns a plan for (model, n) from the shared process-wide
+// cache, building and inserting it on a miss.
+func CachedPlan(model acf.Model, n int) (*Plan, error) {
+	return Shared.Get(model, n)
+}
+
+// PlanCache is a bounded, single-flighted cache of Durbin–Levinson plans.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	dir     string // optional disk layer; "" disables
+	tick    uint64 // LRU clock
+	entries map[cacheKey]*cacheEntry
+	// ident is an identity fast path: for comparable model values a repeat
+	// Get skips the O(n) table evaluation and fingerprinting entirely.
+	// Relies on acf.Model.At being pure, which the whole package assumes
+	// (plans are immutable evaluations of the model).
+	ident map[identKey]*cacheEntry
+}
+
+type cacheKey struct {
+	fp uint64
+	n  int
+}
+
+type identKey struct {
+	model acf.Model
+	n     int
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed when plan/err are set
+	plan  *Plan
+	err   error
+	used  uint64
+}
+
+// NewPlanCache returns a cache holding at most capacity ready plans.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*cacheEntry),
+		ident:   make(map[identKey]*cacheEntry),
+	}
+}
+
+// SetDir enables (non-empty) or disables (empty) the disk layer. Existing
+// in-memory entries are unaffected.
+func (c *PlanCache) SetDir(dir string) {
+	c.mu.Lock()
+	c.dir = dir
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached entries (including in-flight builds).
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Purge drops every ready entry. In-flight builds complete and are kept.
+func (c *PlanCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		select {
+		case <-e.ready:
+			delete(c.entries, k)
+			c.dropIdentLocked(e)
+		default:
+		}
+	}
+}
+
+// fingerprint hashes the IEEE-754 bits of the autocorrelation table plus
+// the length with FNV-1a (64-bit).
+func fingerprint(r []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(r)))
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime64
+	}
+	for _, x := range r {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+		for _, c := range b {
+			h = (h ^ uint64(c)) * prime64
+		}
+	}
+	return h
+}
+
+// Get returns a plan for (model, n), building it at most once per key even
+// under concurrent callers. The returned plan is shared: callers must treat
+// it as read-only (which the Plan API already enforces).
+//
+// Repeat requests with a comparable model value (plain structs like acf.FGN)
+// short-circuit through an identity map without re-evaluating the model;
+// everything else pays one O(n) table evaluation and is matched by content.
+func (c *PlanCache) Get(model acf.Model, n int) (*Plan, error) {
+	if n <= 0 || n > MaxPlanLen {
+		return NewPlan(model, n) // let NewPlan produce the error
+	}
+	var ik identKey
+	hasIdent := model != nil && hashableModel(model)
+	if hasIdent {
+		ik = identKey{model: model, n: n}
+		c.mu.Lock()
+		if e, ok := c.ident[ik]; ok {
+			c.tick++
+			e.used = c.tick
+			c.mu.Unlock()
+			<-e.ready
+			// Only successful builds are recorded in the identity map.
+			return e.plan, e.err
+		}
+		c.mu.Unlock()
+	}
+	table := make([]float64, n)
+	for k := range table {
+		table[k] = model.At(k)
+	}
+	key := cacheKey{fp: fingerprint(table), n: n}
+
+	c.mu.Lock()
+	c.tick++
+	if e, ok := c.entries[key]; ok {
+		e.used = c.tick
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		if tablesEqual(e.plan.r, table) {
+			// Verified content match: safe to record the identity shortcut.
+			if hasIdent {
+				c.mu.Lock()
+				c.ident[ik] = e
+				c.mu.Unlock()
+			}
+			return e.plan, nil
+		}
+		// Fingerprint collision: different table, same hash. Build directly
+		// without caching rather than evicting the legitimate occupant.
+		return NewPlan(tableModel(table), n)
+	}
+	e := &cacheEntry{ready: make(chan struct{}), used: c.tick}
+	c.entries[key] = e
+	if hasIdent {
+		c.ident[ik] = e
+	}
+	c.evictLocked()
+	dir := c.dir
+	c.mu.Unlock()
+
+	plan, err := c.build(table, n, dir, key)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.dropIdentLocked(e)
+		c.mu.Unlock()
+		e.err = err
+		close(e.ready)
+		return nil, err
+	}
+	e.plan = plan
+	close(e.ready)
+	return plan, nil
+}
+
+// hashableModel reports whether the model value can be a map key. Type
+// comparability is not enough: a comparable struct may carry an interface
+// field whose dynamic value is a slice (acf.Composite does), and hashing
+// such a value panics at runtime. Walk the value and reject anything the
+// runtime hash would reject.
+func hashableModel(m acf.Model) bool {
+	return hashableValue(reflect.ValueOf(m))
+}
+
+func hashableValue(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Slice, reflect.Map, reflect.Func:
+		return false
+	case reflect.Interface:
+		return v.IsNil() || hashableValue(v.Elem())
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if !hashableValue(v.Field(i)) {
+				return false
+			}
+		}
+		return true
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			if !hashableValue(v.Index(i)) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// dropIdentLocked removes every identity mapping that points at e.
+func (c *PlanCache) dropIdentLocked(e *cacheEntry) {
+	for k, v := range c.ident {
+		if v == e {
+			delete(c.ident, k)
+		}
+	}
+}
+
+// build loads the plan from the disk layer when possible, otherwise runs
+// NewPlan and writes the result back best-effort.
+func (c *PlanCache) build(table []float64, n int, dir string, key cacheKey) (*Plan, error) {
+	var path string
+	if dir != "" {
+		path = filepath.Join(dir, planFileName(key))
+		if f, err := os.Open(path); err == nil {
+			plan, rerr := ReadPlan(f)
+			f.Close()
+			if rerr == nil && plan.Len() == n && tablesEqual(plan.r, table) {
+				return plan, nil
+			}
+			// Corrupt or mismatched file: fall through to a fresh build.
+		}
+	}
+	plan, err := NewPlan(tableModel(table), n)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		savePlan(plan, path)
+	}
+	return plan, nil
+}
+
+// savePlan writes the plan via a temp file + rename so readers never see a
+// partial file. Failures are ignored: the disk layer is an accelerator.
+func savePlan(p *Plan, path string) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".plan-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := p.WriteTo(tmp); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+	}
+}
+
+func planFileName(key cacheKey) string {
+	return fmt.Sprintf("plan-%016x-%d.hplan", key.fp, key.n)
+}
+
+// evictLocked drops least-recently-used ready entries until the cache is
+// within capacity. In-flight builds are never evicted.
+func (c *PlanCache) evictLocked() {
+	for len(c.entries) > c.cap {
+		var victim cacheKey
+		var victimUsed uint64 = ^uint64(0)
+		found := false
+		for k, e := range c.entries {
+			select {
+			case <-e.ready:
+			default:
+				continue // still building
+			}
+			if e.used < victimUsed {
+				victim, victimUsed, found = k, e.used, true
+			}
+		}
+		if !found {
+			return
+		}
+		c.dropIdentLocked(c.entries[victim])
+		delete(c.entries, victim)
+	}
+}
+
+func tablesEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// tableModel adapts an evaluated autocorrelation table back into an
+// acf.Model so builds work from the already-evaluated values (one model
+// evaluation per Get, not two).
+type tableModel []float64
+
+func (t tableModel) At(k int) float64 {
+	if k < 0 || k >= len(t) {
+		return 0
+	}
+	return t[k]
+}

@@ -14,12 +14,21 @@
 // The Plan also exposes the per-step conditional means and variances, which
 // is exactly what the importance-sampling likelihood ratios of Appendix B
 // need (eqs. 35-48).
+//
+// Memory layout: the triangular phi table is a single flat backing array.
+// Row k (k = 1..n-1) lives at offset k*(k-1)/2 and stores the coefficients
+// in reversed order, row[i] = phi_{k,k-i}, so that the conditional mean
+// m_k = sum_j phi_{k,j} x_{k-j} becomes a unit-stride dot product of row
+// with the history x[0..k-1]. One allocation replaces n ragged rows and
+// both operands of the hot dot product walk memory in the same direction.
 package hosking
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"vbrsim/internal/acf"
 	"vbrsim/internal/rng"
@@ -29,28 +38,70 @@ import (
 // a valid (positive-definite) correlation function for the requested length.
 var ErrNotPositiveDefinite = errors.New("hosking: autocorrelation is not positive definite")
 
+// MaxPlanLen bounds plan construction and deserialization. A plan of length
+// n stores n*(n-1)/2 coefficients; 1<<17 steps is ~64 GiB of phi table, far
+// beyond practical. Longer horizons should use the Truncated fast path,
+// which can generate paths of any length from a moderate plan.
+const MaxPlanLen = 1 << 17
+
+// reduceChunk is the block size for the chunked inner-loop reductions used
+// by plan construction. Rows no longer than reduceChunk are reduced with
+// the plain serial loop in the historical summation order, so every plan of
+// length <= reduceChunk+1 is bit-identical to the original serial
+// implementation. Longer rows use fixed-size chunk partials combined in a
+// deterministic order, which makes the result independent of the worker
+// count (serial and parallel construction agree bitwise) at the cost of a
+// one-time reassociation relative to the pre-chunking code.
+const reduceChunk = 8192
+
 // Plan holds the precomputed Durbin–Levinson state for generating paths of
 // length n. A Plan is immutable after construction and safe for concurrent
 // use by multiple goroutines.
 type Plan struct {
 	n      int
-	r      []float64   // r[k] = autocorrelation at lag k, 0..n-1
-	phi    [][]float64 // phi[k][j-1] = phi_{k,j}, j = 1..k, for k = 1..n-1
-	v      []float64   // v[k] = conditional variance of X_k given X_0..X_{k-1}
-	phiSum []float64   // phiSum[k] = sum_j phi_{k,j}; 0 at k = 0
+	r      []float64 // r[k] = autocorrelation at lag k, 0..n-1
+	flat   []float64 // reversed-row triangle: row k at flat[k*(k-1)/2:], row[i] = phi_{k,k-i}
+	v      []float64 // v[k] = conditional variance of X_k given X_0..X_{k-1}
+	phiSum []float64 // phiSum[k] = sum_j phi_{k,j}; 0 at k = 0
+}
+
+// rowOffset returns the index of row k inside the flat triangle.
+func rowOffset(k int) int { return k * (k - 1) / 2 }
+
+// row returns the reversed coefficient row for step k: row[i] = phi_{k,k-i}.
+func (p *Plan) row(k int) []float64 {
+	off := rowOffset(k)
+	return p.flat[off : off+k]
+}
+
+// PlanOptions tunes plan construction. The zero value selects defaults.
+type PlanOptions struct {
+	// Workers is the number of goroutines used for the O(k) inner loops of
+	// rows longer than the chunk cutoff. 0 means GOMAXPROCS. 1 forces the
+	// serial path. The result is bit-identical for every worker count.
+	Workers int
 }
 
 // NewPlan runs the Durbin–Levinson recursion for the given autocorrelation
-// model up to length n. It returns ErrNotPositiveDefinite (wrapped with the
-// offending lag) if any partial correlation falls outside (-1, 1).
+// model up to length n with default options. It returns
+// ErrNotPositiveDefinite (wrapped with the offending lag) if any partial
+// correlation falls outside (-1, 1).
 func NewPlan(model acf.Model, n int) (*Plan, error) {
+	return NewPlanOpts(model, n, PlanOptions{})
+}
+
+// NewPlanOpts is NewPlan with explicit construction options.
+func NewPlanOpts(model acf.Model, n int, opt PlanOptions) (*Plan, error) {
 	if n <= 0 {
 		return nil, errors.New("hosking: non-positive length")
+	}
+	if n > MaxPlanLen {
+		return nil, fmt.Errorf("hosking: plan length %d exceeds limit %d (use the Truncated fast path for long horizons)", n, MaxPlanLen)
 	}
 	p := &Plan{
 		n:      n,
 		r:      make([]float64, n),
-		phi:    make([][]float64, n),
+		flat:   make([]float64, n*(n-1)/2),
 		v:      make([]float64, n),
 		phiSum: make([]float64, n),
 	}
@@ -64,32 +115,156 @@ func NewPlan(model acf.Model, n int) (*Plan, error) {
 	if n == 1 {
 		return p, nil
 	}
-	prev := make([]float64, 0, n)
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var pool *planPool
+	if workers > 1 && n-1 > reduceChunk {
+		pool = newPlanPool(workers)
+		defer pool.close()
+	}
+	var partials []float64
+	if n-1 > reduceChunk {
+		partials = make([]float64, (n+reduceChunk-1)/reduceChunk)
+	}
+
 	for k := 1; k < n; k++ {
-		// d_k = r(k) - sum_{j=1}^{k-1} phi_{k-1,j} r(k-j)
-		d := p.r[k]
-		for j := 1; j < k; j++ {
-			d -= prev[j-1] * p.r[k-j]
+		prev := p.flat[rowOffset(k-1) : rowOffset(k-1)+k-1] // reversed row k-1
+		row := p.flat[rowOffset(k) : rowOffset(k)+k]        // reversed row k
+		m := k - 1                                          // inner-loop length
+
+		// d_k = r(k) - sum_{j=1}^{k-1} phi_{k-1,j} r(k-j). In the reversed
+		// layout the historical term order (j ascending) is i descending
+		// with term prev[i]*r[i+1].
+		var d float64
+		if m <= reduceChunk {
+			d = p.r[k]
+			for i := m - 1; i >= 0; i-- {
+				d -= prev[i] * p.r[i+1]
+			}
+		} else {
+			chunks := (m + reduceChunk - 1) / reduceChunk
+			runChunks(pool, chunks, func(c int) {
+				lo, hi := c*reduceChunk, (c+1)*reduceChunk
+				if hi > m {
+					hi = m
+				}
+				var s float64
+				for i := hi - 1; i >= lo; i-- {
+					s += prev[i] * p.r[i+1]
+				}
+				partials[c] = s
+			})
+			d = p.r[k]
+			for c := chunks - 1; c >= 0; c-- {
+				d -= partials[c]
+			}
 		}
 		phiKK := d / p.v[k-1]
 		if math.Abs(phiKK) >= 1 || math.IsNaN(phiKK) {
 			return nil, fmt.Errorf("%w: partial correlation %v at lag %d", ErrNotPositiveDefinite, phiKK, k)
 		}
-		row := make([]float64, k)
-		for j := 1; j < k; j++ {
-			row[j-1] = prev[j-1] - phiKK*prev[k-1-j]
-		}
-		row[k-1] = phiKK
-		p.phi[k] = row
-		p.v[k] = p.v[k-1] * (1 - phiKK*phiKK)
+		row[0] = phiKK // phi_{k,k}
+
+		// Row update phi_{k,j} = phi_{k-1,j} - phi_{k,k} phi_{k-1,k-j}:
+		// reversed, row[i] = prev[i-1] - phiKK*prev[k-1-i] for i = 1..k-1.
+		// Elementwise, so chunk order is irrelevant bitwise. The row sum is
+		// accumulated in the historical order (reversed-descending).
 		var s float64
-		for _, c := range row {
-			s += c
+		if m <= reduceChunk {
+			for i := 1; i < k; i++ {
+				row[i] = prev[i-1] - phiKK*prev[k-1-i]
+			}
+			for i := k - 1; i >= 0; i-- {
+				s += row[i]
+			}
+		} else {
+			chunks := (k + reduceChunk - 1) / reduceChunk
+			runChunks(pool, chunks, func(c int) {
+				lo, hi := c*reduceChunk, (c+1)*reduceChunk
+				if hi > k {
+					hi = k
+				}
+				start := lo
+				if start == 0 {
+					start = 1 // row[0] already holds phiKK
+				}
+				for i := start; i < hi; i++ {
+					row[i] = prev[i-1] - phiKK*prev[k-1-i]
+				}
+				var ps float64
+				for i := hi - 1; i >= lo; i-- {
+					ps += row[i]
+				}
+				partials[c] = ps
+			})
+			for c := chunks - 1; c >= 0; c-- {
+				s += partials[c]
+			}
 		}
 		p.phiSum[k] = s
-		prev = row
+		p.v[k] = p.v[k-1] * (1 - phiKK*phiKK)
 	}
 	return p, nil
+}
+
+// planPool is a fixed set of workers that execute chunk bodies for the
+// duration of one NewPlan call. Chunk results are combined by the caller in
+// a deterministic order, so the pool only provides parallelism, never
+// ordering.
+type planPool struct {
+	tasks chan poolTask
+	wg    sync.WaitGroup
+}
+
+type poolTask struct {
+	body func(int)
+	c    int
+	done *sync.WaitGroup
+}
+
+func newPlanPool(workers int) *planPool {
+	p := &planPool{tasks: make(chan poolTask, 2*workers)}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				t.body(t.c)
+				t.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *planPool) run(chunks int, body func(int)) {
+	var done sync.WaitGroup
+	done.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		p.tasks <- poolTask{body: body, c: c, done: &done}
+	}
+	done.Wait()
+}
+
+func (p *planPool) close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// runChunks executes body(c) for c in [0, chunks), on the pool when one is
+// available, inline otherwise. Bodies write disjoint state; execution order
+// does not affect the result.
+func runChunks(pool *planPool, chunks int, body func(int)) {
+	if pool == nil {
+		for c := 0; c < chunks; c++ {
+			body(c)
+		}
+		return
+	}
+	pool.run(chunks, body)
 }
 
 // PhiRowSum returns sum_{j=1}^{k} phi_{k,j}, the sensitivity of the
@@ -122,7 +297,7 @@ func (p *Plan) PartialCorr(k int) float64 {
 	if k <= 0 || k >= p.n {
 		return 0
 	}
-	return p.phi[k][k-1]
+	return p.flat[rowOffset(k)]
 }
 
 // CondMean returns m_k = sum_{j=1}^{k} phi_{k,j} x_{k-j}, the mean of X_k
@@ -131,10 +306,13 @@ func (p *Plan) CondMean(k int, x []float64) float64 {
 	if k == 0 {
 		return 0
 	}
-	row := p.phi[k]
+	row := p.row(k)
+	x = x[:k]
+	// Descending i reproduces the historical term order (j = 1..k over the
+	// natural layout) bit-for-bit while both operands stay unit-stride.
 	var m float64
-	for j := 1; j <= k; j++ {
-		m += row[j-1] * x[k-j]
+	for i := k - 1; i >= 0; i-- {
+		m += row[i] * x[i]
 	}
 	return m
 }
@@ -211,7 +389,9 @@ func (p *Plan) Forecast(observed []float64, n int) (mean, std []float64) {
 }
 
 // Generator is a streaming view of one sample path: each Next call extends
-// the path by one step. It is bound to a single goroutine.
+// the path by one step. The history buffer is preallocated to the plan
+// length, so a full path costs no per-step allocations. It is bound to a
+// single goroutine.
 type Generator struct {
 	plan *Plan
 	rng  *rng.Source

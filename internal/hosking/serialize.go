@@ -3,6 +3,10 @@
 // in O(n^2) bytes of sequential I/O instead. The format is a simple
 // little-endian dump: magic, length, the autocorrelation, conditional
 // variances, row sums, and the triangular phi table.
+//
+// The on-disk row order is the natural one (phi_{k,1} .. phi_{k,k}), as
+// written by every version of this package; the in-memory reversed flat
+// layout is converted on the fly through a single scratch row.
 package hosking
 
 import (
@@ -34,11 +38,17 @@ func (p *Plan) WriteTo(w io.Writer) (int64, error) {
 		}
 		written += int64(8 * len(s))
 	}
+	scratch := make([]float64, p.n)
 	for k := 1; k < p.n; k++ {
-		if err := binary.Write(bw, binary.LittleEndian, p.phi[k]); err != nil {
+		row := p.row(k)
+		nat := scratch[:k]
+		for j := 1; j <= k; j++ {
+			nat[j-1] = row[k-j] // phi_{k,j}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, nat); err != nil {
 			return written, err
 		}
-		written += int64(8 * len(p.phi[k]))
+		written += int64(8 * k)
 	}
 	if err := bw.Flush(); err != nil {
 		return written, err
@@ -60,8 +70,7 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 		return nil, err
 	}
-	const maxPlanLen = 1 << 17 // 128k steps = ~64 GiB of phi table; far beyond practical
-	if n == 0 || n > maxPlanLen {
+	if n == 0 || n > MaxPlanLen {
 		return nil, fmt.Errorf("hosking: implausible plan length %d", n)
 	}
 	p := &Plan{
@@ -69,19 +78,23 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 		r:      make([]float64, n),
 		v:      make([]float64, n),
 		phiSum: make([]float64, n),
-		phi:    make([][]float64, n),
+		flat:   make([]float64, int(n)*(int(n)-1)/2),
 	}
 	for _, s := range [][]float64{p.r, p.v, p.phiSum} {
 		if err := binary.Read(br, binary.LittleEndian, s); err != nil {
 			return nil, err
 		}
 	}
+	scratch := make([]float64, n)
 	for k := 1; k < p.n; k++ {
-		row := make([]float64, k)
-		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+		nat := scratch[:k]
+		if err := binary.Read(br, binary.LittleEndian, nat); err != nil {
 			return nil, err
 		}
-		p.phi[k] = row
+		row := p.row(k)
+		for j := 1; j <= k; j++ {
+			row[k-j] = nat[j-1]
+		}
 	}
 	// Sanity: the stored quantities must describe a valid plan.
 	if p.r[0] != 1 {

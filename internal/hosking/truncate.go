@@ -1,0 +1,280 @@
+// Truncated-AR(p) fast generation. Hosking's exact method regresses every
+// step on its full history, which makes path generation O(n^2). For the
+// long-range-dependent models of the paper the partial correlations
+// phi_{k,k} decay like a power law, so past some order p the remaining
+// coefficients move the conditional law by less than any tolerance of
+// interest. Freezing the Durbin–Levinson coefficient row at order p turns
+// the generator into a stationary AR(p): steps beyond p cost O(p) each and
+// the process can be extended to ANY length — including the paper's full
+// 238,626-frame trace — from a plan of moderate length.
+//
+// The approximation is quantified, not assumed: the AR(p) model implied by
+// the frozen row reproduces the target autocorrelation exactly up to lag p
+// (the row solves the Yule–Walker equations), and its extension beyond lag
+// p is computed and compared against the plan's table. The measured error
+// is exposed through MaxACFError — and enforced when TruncateOptions.ACFTol
+// is set — so callers (core.Fit, the experiment pipelines) can choose exact
+// vs. fast per use with a known ACF-error figure.
+package hosking
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vbrsim/internal/rng"
+)
+
+// ErrNoTruncation is returned when no truncation order within the plan
+// satisfies the requested tolerance (the partial correlations have not
+// decayed enough at the plan length).
+var ErrNoTruncation = errors.New("hosking: no truncation order within plan meets the tolerance")
+
+// TruncateOptions tunes truncation. The zero value selects defaults.
+type TruncateOptions struct {
+	// Tol is the partial-correlation cutoff: the truncation order is placed
+	// after the last lag whose |phi_{k,k}| reaches Tol. Default 1e-3.
+	Tol float64
+	// Run is how many consecutive lags must stay below Tol before the tail
+	// is considered dead; it also reserves that many lags past the order
+	// for the ACF-error measurement. Default 32.
+	Run int
+	// ACFTol, when positive, additionally bounds the induced
+	// autocorrelation error: the order is advanced until the max over plan
+	// lags of |AR(p)-implied ACF - target ACF| is at most ACFTol, and
+	// Truncate fails if no usable order achieves it. When 0 the error is
+	// only measured and reported via MaxACFError. Long-memory targets lose
+	// their power-law tail under ANY finite AR order, so tight absolute
+	// bounds over long windows force the order toward the plan length;
+	// leave this 0 unless the long-lag ACF itself is the quantity under
+	// study.
+	ACFTol float64
+}
+
+// Truncated is a frozen AR(p) view of a plan. Like a Plan it is immutable
+// and safe for concurrent use. Its conditional quantities agree exactly
+// with the plan for steps k < p and approximate them (within the measured
+// ACF error) for k >= p, where they become time-invariant.
+type Truncated struct {
+	plan   *Plan
+	order  int
+	row    []float64 // frozen reversed row p: row[i] = phi_{p,p-i}
+	v      float64   // innovation variance v_p
+	sqrtV  float64
+	phiSum float64 // sum of the frozen row
+	tol    float64
+	maxErr float64 // measured max |implied ACF - target ACF| over lags (p, plan length)
+}
+
+// Truncate selects the truncation order and returns the fast generation
+// view. The order is placed after the last partial correlation with
+// magnitude >= Tol (requiring at least Run quiet lags after it inside the
+// plan); when ACFTol is set the order is then advanced until the measured
+// induced ACF error is within that bound.
+func (p *Plan) Truncate(opt TruncateOptions) (*Truncated, error) {
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	run := opt.Run
+	if run <= 0 {
+		run = 32
+	}
+	maxOrder := p.n - 1 - run
+	if maxOrder < 1 {
+		return nil, fmt.Errorf("%w: plan length %d too short for run %d", ErrNoTruncation, p.n, run)
+	}
+	// Last lag whose partial correlation is still significant.
+	order := 1
+	for k := 1; k < p.n; k++ {
+		if math.Abs(p.PartialCorr(k)) >= tol {
+			order = k
+		}
+	}
+	if order > maxOrder {
+		return nil, fmt.Errorf("%w: partial correlations above %g up to lag %d of %d", ErrNoTruncation, tol, order, p.n)
+	}
+	for {
+		maxErr := p.arExtensionError(order)
+		if opt.ACFTol <= 0 || maxErr <= opt.ACFTol {
+			t := &Truncated{
+				plan:   p,
+				order:  order,
+				row:    append([]float64(nil), p.row(order)...),
+				v:      p.v[order],
+				sqrtV:  math.Sqrt(p.v[order]),
+				phiSum: p.phiSum[order],
+				tol:    tol,
+				maxErr: maxErr,
+			}
+			return t, nil
+		}
+		next := order + order/2 + 16
+		if next > maxOrder {
+			return nil, fmt.Errorf("%w: ACF error %.3g > %g at max usable order %d", ErrNoTruncation, maxErr, opt.ACFTol, order)
+		}
+		order = next
+	}
+}
+
+// arExtensionError extends the target autocorrelation with the AR(p)
+// Yule–Walker recursion implied by row p and returns the max absolute
+// deviation from the plan's table over lags p+1 .. n-1. Lags 0..p match
+// exactly by construction of the Durbin–Levinson row.
+func (p *Plan) arExtensionError(order int) float64 {
+	row := p.row(order)
+	ext := make([]float64, p.n)
+	copy(ext, p.r[:order+1])
+	var worst float64
+	for k := order + 1; k < p.n; k++ {
+		base := k - order
+		var s float64
+		for i := 0; i < order; i++ {
+			s += row[i] * ext[base+i]
+		}
+		ext[k] = s
+		if d := math.Abs(s - p.r[k]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Order returns the truncation order p.
+func (t *Truncated) Order() int { return t.order }
+
+// Tol returns the tolerance the truncation was built with.
+func (t *Truncated) Tol() float64 { return t.tol }
+
+// MaxACFError returns the measured max absolute deviation between the
+// AR(p)-implied autocorrelation and the plan's table beyond the order.
+func (t *Truncated) MaxACFError() float64 { return t.maxErr }
+
+// Plan returns the exact plan the truncation was derived from.
+func (t *Truncated) Plan() *Plan { return t.plan }
+
+// Len reports the maximum path length, which for the AR(p) fast path is
+// unbounded: generation beyond the plan length is exactly what truncation
+// buys. It satisfies the same interface as Plan.Len for horizon checks.
+func (t *Truncated) Len() int { return math.MaxInt }
+
+// CondVar returns the conditional variance at step k: exact below the
+// order, the frozen innovation variance at and beyond it.
+func (t *Truncated) CondVar(k int) float64 {
+	if k < t.order {
+		return t.plan.v[k]
+	}
+	return t.v
+}
+
+// PhiRowSum returns the coefficient row sum at step k (frozen beyond the
+// order), the quantity the importance-sampling twist needs.
+func (t *Truncated) PhiRowSum(k int) float64 {
+	if k < t.order {
+		return t.plan.PhiRowSum(k)
+	}
+	return t.phiSum
+}
+
+// CondMean returns the conditional mean of X_k given x[0..k-1]: the exact
+// full-history regression below the order, the frozen O(p) regression on
+// the last p values at and beyond it.
+func (t *Truncated) CondMean(k int, x []float64) float64 {
+	if k < t.order {
+		return t.plan.CondMean(k, x)
+	}
+	base := k - t.order
+	h := x[base : base+t.order]
+	row := t.row
+	var m float64
+	for i := t.order - 1; i >= 0; i-- {
+		m += row[i] * h[i]
+	}
+	return m
+}
+
+// Generate fills out with one sample path. Unlike Plan.Generate, len(out)
+// may exceed the plan length: the first p steps follow the exact
+// conditional law (bit-identical to the exact generator), the rest the
+// frozen AR(p) law.
+func (t *Truncated) Generate(r *rng.Source, out []float64) {
+	p := t.plan
+	limit := t.order
+	if limit > len(out) {
+		limit = len(out)
+	}
+	for k := 0; k < limit; k++ {
+		m := p.CondMean(k, out[:k])
+		out[k] = m + math.Sqrt(p.v[k])*r.Norm()
+	}
+	row := t.row
+	for k := t.order; k < len(out); k++ {
+		h := out[k-t.order : k]
+		var m float64
+		for i := t.order - 1; i >= 0; i-- {
+			m += row[i] * h[i]
+		}
+		out[k] = m + t.sqrtV*r.Norm()
+	}
+}
+
+// Path allocates and returns a fresh sample path of length n (any n).
+func (t *Truncated) Path(r *rng.Source, n int) []float64 {
+	out := make([]float64, n)
+	t.Generate(r, out)
+	return out
+}
+
+// TruncatedGenerator streams a truncated-AR path one step at a time while
+// holding only an O(p) window of history, so arbitrarily long paths run in
+// constant memory. It is bound to a single goroutine.
+type TruncatedGenerator struct {
+	t   *Truncated
+	rng *rng.Source
+	pos int
+	buf []float64 // history window; always ends at step pos-1
+}
+
+// NewTruncatedGenerator returns a streaming generator over the truncation.
+func NewTruncatedGenerator(t *Truncated, r *rng.Source) *TruncatedGenerator {
+	capacity := 2 * t.order
+	if capacity < t.order+64 {
+		capacity = t.order + 64
+	}
+	return &TruncatedGenerator{t: t, rng: r, buf: make([]float64, 0, capacity)}
+}
+
+// Next returns the next sample of the path.
+func (g *TruncatedGenerator) Next() float64 {
+	t := g.t
+	k := g.pos
+	var x float64
+	if k < t.order {
+		m := t.plan.CondMean(k, g.buf)
+		x = m + math.Sqrt(t.plan.v[k])*g.rng.Norm()
+	} else {
+		if len(g.buf) == cap(g.buf) {
+			n := copy(g.buf, g.buf[len(g.buf)-t.order:])
+			g.buf = g.buf[:n]
+		}
+		h := g.buf[len(g.buf)-t.order:]
+		row := t.row
+		var m float64
+		for i := t.order - 1; i >= 0; i-- {
+			m += row[i] * h[i]
+		}
+		x = m + t.sqrtV*g.rng.Norm()
+	}
+	g.buf = append(g.buf, x)
+	g.pos++
+	return x
+}
+
+// Pos returns how many samples have been generated so far.
+func (g *TruncatedGenerator) Pos() int { return g.pos }
+
+// Reset discards the path so the generator can produce a fresh replication.
+func (g *TruncatedGenerator) Reset() {
+	g.pos = 0
+	g.buf = g.buf[:0]
+}

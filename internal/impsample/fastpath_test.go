@@ -1,0 +1,106 @@
+package impsample
+
+import (
+	"math"
+	"testing"
+
+	"vbrsim/internal/acf"
+	"vbrsim/internal/dist"
+	"vbrsim/internal/hosking"
+	"vbrsim/internal/transform"
+)
+
+// fastSetup builds a truncated-AR fast plan whose exact plan is much
+// shorter than the horizons the tests run at.
+func fastSetup(t testing.TB, planLen int) (*hosking.Truncated, transform.T) {
+	t.Helper()
+	plan, err := hosking.NewPlan(acf.Exponential{Lambda: 0.2}, planLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := plan.Truncate(hosking.TruncateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, transform.New(dist.Lognormal{Mu: 0, Sigma: 0.5})
+}
+
+func TestFastPlanWorkerInvariance(t *testing.T) {
+	tr, h := fastSetup(t, 256)
+	cfg := Config{
+		FastPlan: tr, Transform: h,
+		Service: 1.8, Buffer: 6, Horizon: 500, // beyond the exact plan length
+		Twist: 1.0, Replications: 400, Seed: 7, Workers: 4,
+	}
+	a, err := Estimate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	b, err := Estimate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P != b.P || a.Hits != b.Hits {
+		t.Errorf("worker count changed fast-path result: %+v vs %+v", a, b)
+	}
+}
+
+func TestFastPlanUnboundedHorizon(t *testing.T) {
+	// The exact plan rejects horizons beyond its length; the fast plan
+	// must accept them.
+	plan, err := hosking.NewPlan(acf.Exponential{Lambda: 0.2}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := transform.New(dist.Lognormal{Mu: 0, Sigma: 0.5})
+	exact := Config{
+		Plan: plan, Transform: h,
+		Service: 1.8, Buffer: 6, Horizon: 300,
+		Replications: 50, Seed: 1,
+	}
+	if _, err := Estimate(exact); err == nil {
+		t.Fatal("exact plan accepted a horizon beyond its length")
+	}
+	tr, err := plan.Truncate(hosking.TruncateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := exact
+	fast.Plan, fast.FastPlan = nil, tr
+	if _, err := Estimate(fast); err != nil {
+		t.Fatalf("fast plan rejected horizon 300: %v", err)
+	}
+}
+
+func TestFastPlanMatchesExactEstimate(t *testing.T) {
+	// For a horizon within the exact plan and an AR order that captures
+	// essentially all the (exponentially decaying) dependence, the fast
+	// path is a drop-in statistical replacement: the two IS estimates
+	// agree within Monte-Carlo error.
+	plan, h := testSetup(t, 120)
+	base := Config{
+		Plan: plan, Transform: h,
+		Service: 1.8, Buffer: 6, Horizon: 120,
+		Twist: 1.0, Replications: 4000, Seed: 13,
+	}
+	exact, err := Estimate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := plan.Truncate(hosking.TruncateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := base
+	fast.Plan, fast.FastPlan = nil, tr
+	fast.Seed = 14
+	got, err := Estimate(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := 3 * (exact.StdErr + got.StdErr)
+	if math.Abs(got.P-exact.P) > se {
+		t.Errorf("fast-path estimate %v vs exact %v (3se = %v)", got.P, exact.P, se)
+	}
+}

@@ -49,11 +49,27 @@ const (
 	ModeLindley
 )
 
+// condGen is the conditional-law surface the estimators need from a
+// generation plan. Both hosking.Plan (exact) and hosking.Truncated (the
+// O(p) fast path) satisfy it.
+type condGen interface {
+	CondMean(k int, x []float64) float64
+	CondVar(k int) float64
+	PhiRowSum(k int) float64
+	Len() int
+}
+
 // Config parameterizes one importance-sampling estimation.
 type Config struct {
 	// Plan is the background-process generation plan; its length bounds the
 	// horizon.
 	Plan *hosking.Plan
+	// FastPlan, when set, replaces Plan with the truncated-AR(p) fast path:
+	// conditional quantities are exact below the truncation order and
+	// frozen beyond it, each step costs O(p) instead of O(k), and the
+	// horizon is no longer bounded by a plan length. The induced ACF error
+	// is exposed by FastPlan.MaxACFError().
+	FastPlan *hosking.Truncated
 	// Transform maps background variates to foreground arrivals.
 	Transform transform.T
 	// TypedTransforms, when non-empty, replaces Transform with a cyclic
@@ -84,11 +100,24 @@ type Config struct {
 	InitialOccupancy float64
 }
 
+// gen returns the active conditional-law source (FastPlan wins over Plan),
+// or nil when neither is configured.
+func (c *Config) gen() condGen {
+	if c.FastPlan != nil {
+		return c.FastPlan
+	}
+	if c.Plan != nil {
+		return c.Plan
+	}
+	return nil
+}
+
 func (c *Config) validate() error {
-	if c.Plan == nil {
+	g := c.gen()
+	if g == nil {
 		return errors.New("impsample: nil plan")
 	}
-	if c.Horizon <= 0 || c.Horizon > c.Plan.Len() {
+	if c.Horizon <= 0 || c.Horizon > g.Len() {
 		return errors.New("impsample: horizon must lie in [1, plan length]")
 	}
 	if c.Service <= 0 {
@@ -172,7 +201,7 @@ func (c *Config) transformAt(i int) transform.T {
 // path history (length >= horizon). It returns the likelihood weight and
 // whether the overflow event occurred.
 func replicate(cfg *Config, r *rng.Source, buf []float64) (weight float64, hit bool) {
-	plan := cfg.Plan
+	plan := cfg.gen()
 	mStar := cfg.Twist
 	var logL float64
 	var w float64 // running workload (crossing mode)
@@ -241,7 +270,7 @@ func finalize(sum, sumSq float64, n, hits int) queue.Result {
 // ignored; checkpoints must be positive, strictly increasing, and bounded by
 // the plan length.
 func EstimateTransient(cfg Config, checkpoints []int) ([]queue.Result, error) {
-	if cfg.Plan == nil {
+	if cfg.gen() == nil {
 		return nil, errors.New("impsample: nil plan")
 	}
 	if len(checkpoints) == 0 {
@@ -255,7 +284,7 @@ func EstimateTransient(cfg Config, checkpoints []int) ([]queue.Result, error) {
 		prev = k
 	}
 	horizon := checkpoints[len(checkpoints)-1]
-	if horizon > cfg.Plan.Len() {
+	if horizon > cfg.gen().Len() {
 		return nil, errors.New("impsample: checkpoint beyond plan length")
 	}
 	if cfg.Service <= 0 {
@@ -322,7 +351,7 @@ func EstimateTransient(cfg Config, checkpoints []int) ([]queue.Result, error) {
 // transientReplicate runs one full-horizon replication, filling the weighted
 // indicator at each checkpoint.
 func transientReplicate(cfg *Config, r *rng.Source, buf []float64, checkpoints []int, out []float64) {
-	plan := cfg.Plan
+	plan := cfg.gen()
 	mStar := cfg.Twist
 	var logL float64
 	q := cfg.InitialOccupancy

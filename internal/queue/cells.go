@@ -10,6 +10,7 @@ package queue
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"vbrsim/internal/rng"
 )
@@ -76,15 +77,52 @@ type Superposition struct {
 
 // ArrivalPath draws and sums N independent paths.
 func (s Superposition) ArrivalPath(r *rng.Source, k int) []float64 {
+	sum := make([]float64, k)
+	s.ArrivalPathInto(r, sum)
+	return sum
+}
+
+// ArrivalPathInto sums N independent paths into buf. When the base source
+// also supports buffer reuse the per-source path goes through a pooled
+// scratch slice, so a superposition of hundreds of sources performs zero
+// path allocations per replication.
+func (s Superposition) ArrivalPathInto(r *rng.Source, buf []float64) {
 	if s.N <= 0 {
 		panic("queue: Superposition with non-positive N")
 	}
-	sum := make([]float64, k)
+	for j := range buf {
+		buf[j] = 0
+	}
+	k := len(buf)
+	if base, ok := s.Base.(PathSourceInto); ok {
+		scratch := scratchSlice(k)
+		defer releaseScratch(scratch)
+		for i := 0; i < s.N; i++ {
+			base.ArrivalPathInto(r.Split(), *scratch)
+			for j, v := range *scratch {
+				buf[j] += v
+			}
+		}
+		return
+	}
 	for i := 0; i < s.N; i++ {
 		path := s.Base.ArrivalPath(r.Split(), k)
-		for j := range sum {
-			sum[j] += path[j]
+		for j := range buf {
+			buf[j] += path[j]
 		}
 	}
-	return sum
 }
+
+// scratchPool recycles per-replication path buffers across goroutines.
+var scratchPool sync.Pool
+
+func scratchSlice(k int) *[]float64 {
+	if p, ok := scratchPool.Get().(*[]float64); ok && cap(*p) >= k {
+		*p = (*p)[:k]
+		return p
+	}
+	s := make([]float64, k)
+	return &s
+}
+
+func releaseScratch(p *[]float64) { scratchPool.Put(p) }

@@ -116,6 +116,17 @@ type PathSourceFunc func(r *rng.Source, k int) []float64
 // ArrivalPath calls the function.
 func (f PathSourceFunc) ArrivalPath(r *rng.Source, k int) []float64 { return f(r, k) }
 
+// PathSourceInto is the allocation-free variant of PathSource: the source
+// fills a caller-owned buffer instead of allocating a path per replication.
+// Estimators probe for it and reuse one buffer per worker, so per-
+// replication allocations stop growing with the horizon. Implementations
+// must produce exactly the values ArrivalPath would for the same source
+// state.
+type PathSourceInto interface {
+	PathSource
+	ArrivalPathInto(r *rng.Source, buf []float64)
+}
+
 // MCOptions controls Monte-Carlo overflow estimation.
 type MCOptions struct {
 	// Replications is the number of independent paths; default 1000 (the
@@ -174,9 +185,21 @@ func EstimateOverflow(src PathSource, service, b float64, k int, opt MCOptions) 
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			// One path buffer per worker when the source supports reuse.
+			srcInto, reuse := src.(PathSourceInto)
+			var buf []float64
+			if reuse {
+				buf = make([]float64, k)
+			}
 			hits := 0
 			for i := lo; i < hi; i++ {
-				path := src.ArrivalPath(sources[i], k)
+				var path []float64
+				if reuse {
+					srcInto.ArrivalPathInto(sources[i], buf)
+					path = buf
+				} else {
+					path = src.ArrivalPath(sources[i], k)
+				}
 				if FinalOccupancy(opt.InitialOccupancy, path, service) > b {
 					hits++
 				}

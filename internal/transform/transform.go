@@ -44,11 +44,17 @@ func (t T) Apply(x float64) float64 {
 // ApplySlice maps a whole background path to the foreground, allocating the
 // result.
 func (t T) ApplySlice(xs []float64) []float64 {
-	out := make([]float64, len(xs))
+	return t.ApplyTo(make([]float64, len(xs)), xs)
+}
+
+// ApplyTo maps xs into dst (which may alias xs, enabling in-place
+// transformation of reused path buffers) and returns dst[:len(xs)].
+func (t T) ApplyTo(dst, xs []float64) []float64 {
+	dst = dst[:len(xs)]
 	for i, x := range xs {
-		out[i] = t.Apply(x)
+		dst[i] = t.Apply(x)
 	}
-	return out
+	return dst
 }
 
 // Table tabulates h over [lo, hi] at n+1 evenly spaced points, for plotting

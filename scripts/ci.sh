@@ -1,0 +1,19 @@
+#!/bin/sh
+# CI gate: build, vet, race-check (short mode), then the full test suite.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race -short"
+go test -race -short ./...
+
+echo "== go test"
+go test ./...
+
+echo "CI OK"

@@ -30,6 +30,7 @@ import (
 	"vbrsim/internal/dist"
 	"vbrsim/internal/experiments"
 	"vbrsim/internal/farima"
+	"vbrsim/internal/hosking"
 	"vbrsim/internal/hurst"
 	"vbrsim/internal/impsample"
 	"vbrsim/internal/mpegtrace"
@@ -63,7 +64,18 @@ const (
 	BackendAuto        = core.BackendAuto
 	BackendHosking     = core.BackendHosking
 	BackendDaviesHarte = core.BackendDaviesHarte
+	// BackendHoskingFast generates through a truncated-AR approximation of
+	// the exact Hosking recursion: O(p) per step instead of O(k), with a
+	// small, reported ACF error.
+	BackendHoskingFast = core.BackendHoskingFast
 )
+
+// FastPlan is a truncated-AR(p) approximation of an exact Hosking plan:
+// constant work and memory per generated step, unbounded horizon.
+type FastPlan = hosking.Truncated
+
+// TruncateOptions controls how an exact plan is frozen into a FastPlan.
+type TruncateOptions = hosking.TruncateOptions
 
 // Fit runs the paper's Steps 1-4 on a bytes-per-frame record.
 func Fit(sizes []float64, opt FitOptions) (*Model, error) { return core.Fit(sizes, opt) }
