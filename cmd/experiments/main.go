@@ -40,7 +40,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed    = fs.Uint64("seed", 1995, "master seed")
 		reps    = fs.Int("reps", 0, "Monte-Carlo/IS replications (0 = default 1000)")
 		only    = fs.String("only", "", "comma-separated exhibit ids (default: all)")
-		fast    = fs.Bool("fast", false, "use the truncated-AR Hosking fast path (extends Fig 16/17 to paper-scale buffers)")
+		fast    = fs.Bool("fast", false, "use the truncated-AR Hosking fast path (O(p) per step, unbounded horizon); same as synth -backend hosking-fast")
 		fastTol = fs.Float64("fast-tol", 0, "fast-path partial-correlation cutoff (0 = default 1e-3)")
 	)
 	if err := fs.Parse(args); err != nil {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"vbrsim/internal/core"
+	"vbrsim/internal/modelspec"
 	"vbrsim/internal/trace"
 )
 
@@ -45,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		refine    = fs.Bool("refine", false, "run the closed-loop background refinement after fitting")
 		seed      = fs.Uint64("seed", 1, "seed for the attenuation measurement")
 		transform = fs.String("transform-out", "", "write the h(x) transform table (Fig. 2) to this file")
+		jsonOut   = fs.String("json", "", "write the fitted model as a trafficd-servable spec to this file (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +100,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 			res.Errors[0], res.Errors[res.Best], len(res.Errors)-1, res.Best)
 	}
 
+	if *jsonOut != "" {
+		spec := modelspec.FromModel(m, specName(*in, *frameType), *seed)
+		data, err := json.MarshalIndent(&spec, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			if _, err := stdout.Write(data); err != nil {
+				return err
+			}
+		} else {
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "wrote %s\n", *jsonOut)
+		}
+	}
+
 	if *transform != "" {
 		f, err := os.Create(*transform)
 		if err != nil {
@@ -112,6 +134,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "wrote %s\n", *transform)
 	}
 	return nil
+}
+
+// specName derives a spec name from the input path and frame-type filter.
+func specName(path, frameType string) string {
+	base := strings.TrimSuffix(strings.TrimSuffix(path, ".csv"), ".bin")
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if frameType != "" {
+		base += "-" + strings.ToUpper(frameType)
+	}
+	return base
 }
 
 func printModel(w io.Writer, m *core.Model, label string) {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"vbrsim/internal/modelspec"
 	"vbrsim/internal/mpegtrace"
 )
 
@@ -83,6 +84,38 @@ func TestRunTransformOut(t *testing.T) {
 	lines := strings.Count(string(data), "\n")
 	if lines != 241 {
 		t.Errorf("transform table has %d lines, want 241", lines)
+	}
+}
+
+func TestRunJSONExport(t *testing.T) {
+	path := testTracePath(t)
+	out := filepath.Join(t.TempDir(), "spec.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-i", path, "-type", "I", "-seed", "3", "-json", out}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := modelspec.Parse(data)
+	if err != nil {
+		t.Fatalf("exported spec does not parse: %v", err)
+	}
+	if spec.Seed != 3 || spec.H <= 0.5 || spec.Marginal == nil || spec.Marginal.Kind != "empirical" {
+		t.Fatalf("exported spec: %+v", spec)
+	}
+	if !strings.HasSuffix(spec.Name, "-I") {
+		t.Errorf("spec name %q missing frame-type suffix", spec.Name)
+	}
+
+	// "-" streams the spec to stdout instead.
+	stdout.Reset()
+	if err := run([]string{"-i", path, "-type", "I", "-json", "-"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), `"acf"`) {
+		t.Errorf("stdout export missing spec JSON:\n%s", stdout.String())
 	}
 }
 

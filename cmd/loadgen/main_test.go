@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vbrsim/internal/server"
+)
+
+// TestLoadgen32Streams is the concurrency smoke test: 32 streams pulled in
+// parallel from one in-process daemon, each verified bit-identical against
+// offline generation. Under -race this exercises the session registry, the
+// per-session locking, the shared plan cache, and the metrics counters.
+func TestLoadgen32Streams(t *testing.T) {
+	s := server.New(server.Options{MaxSessions: 64})
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	var out, errOut bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", ts.URL, "-streams", "32", "-frames", "400", "-seed", "5000",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("loadgen: %v\nstderr: %s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "32/32 streams ok") {
+		t.Fatalf("unexpected report: %s", out.String())
+	}
+}
+
+func TestLoadgenMissingAddr(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), nil, &out, &errOut); err == nil {
+		t.Fatal("run without -addr succeeded")
+	}
+}

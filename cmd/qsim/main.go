@@ -53,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traceDriven = fs.Bool("trace-driven", false, "estimate from the raw trace itself (one long replication)")
 		batches     = fs.Int("batches", 0, "with -trace-driven: report a batch-means CI over this many batches")
 		sources     = fs.Int("sources", 1, "number of multiplexed sources (plain MC only when > 1)")
-		fast        = fs.Bool("fast", false, "use the truncated-AR Hosking fast path (O(p) per step, horizons beyond the plan limit)")
+		fast        = fs.Bool("fast", false, "use the truncated-AR Hosking fast path (O(p) per step, unbounded horizon); same as synth -backend hosking-fast")
 		fastTol     = fs.Float64("fast-tol", 0, "fast-path partial-correlation cutoff (0 = default 1e-3)")
 	)
 	if err := fs.Parse(args); err != nil {

@@ -7,6 +7,7 @@
 //
 //	synth -i trace.csv -frames 65536 -o synthetic.csv
 //	synth -i trace.csv -gop -frames 65536 -compare-out cmp
+//	synth -i trace.csv -frames 1048576 -fast        # truncated-AR fast path
 package main
 
 import (
@@ -42,9 +43,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cmpOut      = fs.String("compare-out", "", "write <prefix>-{acf,hist,qq}.dat comparison files")
 		acfLags     = fs.Int("acf-lags", 490, "ACF comparison lags")
 		backendName = fs.String("backend", "auto", "background generator: auto, hosking, daviesharte, or hosking-fast")
+		fast        = fs.Bool("fast", false, "use the truncated-AR Hosking fast path (O(p) per step, unbounded horizon); same as -backend hosking-fast")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fast {
+		switch strings.ToLower(*backendName) {
+		case "", "auto", "hosking-fast", "fast":
+			*backendName = "hosking-fast"
+		default:
+			return fmt.Errorf("-fast conflicts with -backend %s", *backendName)
+		}
 	}
 	backend, err := parseBackend(*backendName)
 	if err != nil {

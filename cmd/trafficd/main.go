@@ -1,0 +1,98 @@
+// Command trafficd serves synthetic VBR video traffic over HTTP: streaming
+// generation sessions, async fit / queueing-simulation jobs, and Prometheus
+// metrics. See internal/server for the API surface and README.md for a curl
+// walkthrough.
+//
+// Usage:
+//
+//	trafficd                      # listen on :8080
+//	trafficd -addr 127.0.0.1:0    # ephemeral port (printed on stdout)
+//	trafficd -max-sessions 256 -job-workers 2
+//
+// On SIGINT/SIGTERM the daemon drains: /healthz flips to 503, new sessions
+// and jobs are rejected, in-flight streams and queued jobs finish (bounded
+// by -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vbrsim/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "trafficd:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the daemon until ctx is canceled; split from main for
+// testability.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trafficd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (host:0 picks an ephemeral port)")
+		maxSessions  = fs.Int("max-sessions", 64, "max concurrently open streaming sessions (excess gets 429)")
+		jobWorkers   = fs.Int("job-workers", 0, "job worker-pool size (0 = min(GOMAXPROCS, 4))")
+		jobQueue     = fs.Int("job-queue", 64, "max queued-but-unstarted jobs (excess gets 429)")
+		seed         = fs.Uint64("seed", 1, "base seed for server-assigned session seeds")
+		tol          = fs.Float64("tol", 0, "truncated-AR partial-correlation cutoff for session plans (0 = default 1e-3)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Options{
+		MaxSessions:   *maxSessions,
+		JobWorkers:    *jobWorkers,
+		JobQueueDepth: *jobQueue,
+		Seed:          *seed,
+		Tol:           *tol,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address goes to stdout so scripts binding port 0 can
+	// parse where the daemon actually listens.
+	fmt.Fprintf(stdout, "trafficd listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stderr, "trafficd: draining")
+	srv.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(stderr, "trafficd: forced shutdown:", err)
+		hs.Close()
+	}
+	srv.Close()
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -237,18 +238,39 @@ func (m *Model) Plan(n int) (*hosking.Plan, error) {
 // run past the plan. tol is the partial-correlation cutoff (0 selects the
 // default); the induced ACF error is measured and exposed on the result.
 func (m *Model) TruncatedPlan(n int, tol float64) (*hosking.Truncated, error) {
+	return m.TruncatedPlanCtx(context.Background(), n, tol)
+}
+
+// TruncatedPlanCtx is TruncatedPlan with cancellation threaded through the
+// underlying exact-plan build (the expensive part; truncation itself is
+// bounded by the capped plan length).
+func (m *Model) TruncatedPlanCtx(ctx context.Context, n int, tol float64) (*hosking.Truncated, error) {
+	return TruncatedPlanForCtx(ctx, m.Background, n, tol)
+}
+
+// TruncatedPlanForCtx builds the truncated-AR(p) fast view for an arbitrary
+// background ACF, sharing exact plans through the process-wide cache. It is
+// the entry point the serving layer uses, where sessions are created from
+// model specs rather than fitted Models. n is a horizon hint (use 0 for
+// unbounded streaming); the exact plan length is clamped exactly as
+// Model.TruncatedPlan clamps it, so offline and served generation derive
+// bit-identical plans.
+func TruncatedPlanForCtx(ctx context.Context, model acf.Model, n int, tol float64) (*hosking.Truncated, error) {
 	// The truncated generator is horizon-unbounded, so the exact plan only
 	// has to be long enough for the partial correlations to die out (for
 	// the paper's LRD composite that takes a few hundred lags): clamp to
 	// [truncPlanLenMin, autoHoskingLimit] independent of n.
 	planLen := n
+	if planLen <= 0 {
+		planLen = autoHoskingLimit
+	}
 	if planLen < truncPlanLenMin {
 		planLen = truncPlanLenMin
 	}
 	if planLen > autoHoskingLimit {
 		planLen = autoHoskingLimit
 	}
-	plan, err := hosking.CachedPlan(m.Background, planLen)
+	plan, err := hosking.CachedPlanCtx(ctx, model, planLen)
 	if err != nil {
 		return nil, err
 	}

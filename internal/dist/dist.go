@@ -515,3 +515,8 @@ func (e *Empirical) Min() float64 { return e.sorted[0] }
 
 // Max returns the largest observation.
 func (e *Empirical) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Values returns a copy of the sorted sample backing the distribution, so a
+// fitted marginal can be serialized and rebuilt exactly (NewEmpirical on the
+// returned slice reproduces the identical distribution).
+func (e *Empirical) Values() []float64 { return append([]float64(nil), e.sorted...) }

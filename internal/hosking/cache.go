@@ -18,7 +18,9 @@
 package hosking
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -43,12 +45,35 @@ func CachedPlan(model acf.Model, n int) (*Plan, error) {
 	return Shared.Get(model, n)
 }
 
+// CachedPlanCtx is CachedPlan with cancellation: both the wait on an
+// in-flight build and the build itself observe ctx.
+func CachedPlanCtx(ctx context.Context, model acf.Model, n int) (*Plan, error) {
+	return Shared.GetCtx(ctx, model, n)
+}
+
+// CacheStats is a snapshot of a PlanCache's counters since construction.
+type CacheStats struct {
+	// Hits counts requests served from an existing entry (identity or
+	// verified content match), including requests that waited for an
+	// in-flight build of the same plan.
+	Hits uint64
+	// Misses counts requests that had to run the O(n^2) recursion: cold
+	// keys and fingerprint-collision fallthroughs (which build uncached).
+	Misses uint64
+	// Evictions counts ready entries dropped by the LRU cap.
+	Evictions uint64
+	// SingleflightWaits counts requests that blocked on another caller's
+	// in-flight build instead of duplicating it.
+	SingleflightWaits uint64
+}
+
 // PlanCache is a bounded, single-flighted cache of Durbin–Levinson plans.
 type PlanCache struct {
 	mu      sync.Mutex
 	cap     int
 	dir     string // optional disk layer; "" disables
 	tick    uint64 // LRU clock
+	stats   CacheStats
 	entries map[cacheKey]*cacheEntry
 	// ident is an identity fast path: for comparable model values a repeat
 	// Get skips the O(n) table evaluation and fingerprinting entirely.
@@ -101,6 +126,14 @@ func (c *PlanCache) Len() int {
 	return len(c.entries)
 }
 
+// Stats returns a snapshot of the cache counters. Counters only ever grow;
+// Purge does not reset them.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
 // Purge drops every ready entry. In-flight builds complete and are kept.
 func (c *PlanCache) Purge() {
 	c.mu.Lock()
@@ -145,8 +178,47 @@ func fingerprint(r []float64) uint64 {
 // short-circuit through an identity map without re-evaluating the model;
 // everything else pays one O(n) table evaluation and is matched by content.
 func (c *PlanCache) Get(model acf.Model, n int) (*Plan, error) {
+	return c.GetCtx(context.Background(), model, n)
+}
+
+// GetCtx is Get with cancellation: a caller waiting on another goroutine's
+// in-flight build returns as soon as ctx is done, and a build started by
+// this caller is aborted through the same context. When the shared build
+// fails only because a *different* caller's context was canceled, the
+// request is retried once so one aborted client cannot poison concurrent
+// requests for the same plan (failed entries are dropped before waiters are
+// released, so the retry starts a fresh build).
+func (c *PlanCache) GetCtx(ctx context.Context, model acf.Model, n int) (*Plan, error) {
+	plan, err := c.get(ctx, model, n)
+	if err != nil && isContextErr(err) && ctx.Err() == nil {
+		plan, err = c.get(ctx, model, n)
+	}
+	return plan, err
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// waitEntry blocks until the entry resolves or ctx is done, reporting
+// whether this caller had to wait on an in-flight build.
+func waitEntry(ctx context.Context, e *cacheEntry) (waited bool, err error) {
+	select {
+	case <-e.ready:
+		return false, nil
+	default:
+	}
+	select {
+	case <-e.ready:
+		return true, nil
+	case <-ctx.Done():
+		return true, ctx.Err()
+	}
+}
+
+func (c *PlanCache) get(ctx context.Context, model acf.Model, n int) (*Plan, error) {
 	if n <= 0 || n > MaxPlanLen {
-		return NewPlan(model, n) // let NewPlan produce the error
+		return NewPlanOptsCtx(ctx, model, n, PlanOptions{}) // let NewPlan produce the error
 	}
 	var ik identKey
 	hasIdent := model != nil && hashableModel(model)
@@ -156,9 +228,17 @@ func (c *PlanCache) Get(model acf.Model, n int) (*Plan, error) {
 		if e, ok := c.ident[ik]; ok {
 			c.tick++
 			e.used = c.tick
+			c.stats.Hits++
 			c.mu.Unlock()
-			<-e.ready
-			// Only successful builds are recorded in the identity map.
+			waited, werr := waitEntry(ctx, e)
+			if waited {
+				c.noteSingleflightWait()
+			}
+			if werr != nil {
+				return nil, werr
+			}
+			// Only successful builds stay in the identity map, but a build
+			// can still fail after this entry was recorded dead.
 			return e.plan, e.err
 		}
 		c.mu.Unlock()
@@ -174,33 +254,42 @@ func (c *PlanCache) Get(model acf.Model, n int) (*Plan, error) {
 	if e, ok := c.entries[key]; ok {
 		e.used = c.tick
 		c.mu.Unlock()
-		<-e.ready
+		waited, werr := waitEntry(ctx, e)
+		if waited {
+			c.noteSingleflightWait()
+		}
+		if werr != nil {
+			return nil, werr
+		}
 		if e.err != nil {
 			return nil, e.err
 		}
 		if tablesEqual(e.plan.r, table) {
 			// Verified content match: safe to record the identity shortcut.
+			c.mu.Lock()
+			c.stats.Hits++
 			if hasIdent {
-				c.mu.Lock()
 				c.ident[ik] = e
-				c.mu.Unlock()
 			}
+			c.mu.Unlock()
 			return e.plan, nil
 		}
 		// Fingerprint collision: different table, same hash. Build directly
 		// without caching rather than evicting the legitimate occupant.
-		return NewPlan(tableModel(table), n)
+		c.noteMiss()
+		return NewPlanOptsCtx(ctx, tableModel(table), n, PlanOptions{})
 	}
 	e := &cacheEntry{ready: make(chan struct{}), used: c.tick}
 	c.entries[key] = e
 	if hasIdent {
 		c.ident[ik] = e
 	}
+	c.stats.Misses++
 	c.evictLocked()
 	dir := c.dir
 	c.mu.Unlock()
 
-	plan, err := c.build(table, n, dir, key)
+	plan, err := c.build(ctx, table, n, dir, key)
 	if err != nil {
 		c.mu.Lock()
 		delete(c.entries, key)
@@ -213,6 +302,18 @@ func (c *PlanCache) Get(model acf.Model, n int) (*Plan, error) {
 	e.plan = plan
 	close(e.ready)
 	return plan, nil
+}
+
+func (c *PlanCache) noteSingleflightWait() {
+	c.mu.Lock()
+	c.stats.SingleflightWaits++
+	c.mu.Unlock()
+}
+
+func (c *PlanCache) noteMiss() {
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
 }
 
 // hashableModel reports whether the model value can be a map key. Type
@@ -260,7 +361,7 @@ func (c *PlanCache) dropIdentLocked(e *cacheEntry) {
 
 // build loads the plan from the disk layer when possible, otherwise runs
 // NewPlan and writes the result back best-effort.
-func (c *PlanCache) build(table []float64, n int, dir string, key cacheKey) (*Plan, error) {
+func (c *PlanCache) build(ctx context.Context, table []float64, n int, dir string, key cacheKey) (*Plan, error) {
 	var path string
 	if dir != "" {
 		path = filepath.Join(dir, planFileName(key))
@@ -273,7 +374,7 @@ func (c *PlanCache) build(table []float64, n int, dir string, key cacheKey) (*Pl
 			// Corrupt or mismatched file: fall through to a fresh build.
 		}
 	}
-	plan, err := NewPlan(tableModel(table), n)
+	plan, err := NewPlanOptsCtx(ctx, tableModel(table), n, PlanOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -331,6 +432,7 @@ func (c *PlanCache) evictLocked() {
 		}
 		c.dropIdentLocked(c.entries[victim])
 		delete(c.entries, victim)
+		c.stats.Evictions++
 	}
 }
 

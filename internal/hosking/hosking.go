@@ -24,6 +24,7 @@
 package hosking
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -92,6 +93,18 @@ func NewPlan(model acf.Model, n int) (*Plan, error) {
 
 // NewPlanOpts is NewPlan with explicit construction options.
 func NewPlanOpts(model acf.Model, n int, opt PlanOptions) (*Plan, error) {
+	return NewPlanOptsCtx(context.Background(), model, n, opt)
+}
+
+// ctxCheckRows is how many Durbin–Levinson rows run between cancellation
+// checks during plan construction.
+const ctxCheckRows = 64
+
+// NewPlanOptsCtx is NewPlanOpts with cancellation: plan construction is
+// O(n^2) and a server request that built it may be gone long before it
+// finishes, so the row loop polls ctx every ctxCheckRows rows and returns
+// ctx.Err() when the context is done.
+func NewPlanOptsCtx(ctx context.Context, model acf.Model, n int, opt PlanOptions) (*Plan, error) {
 	if n <= 0 {
 		return nil, errors.New("hosking: non-positive length")
 	}
@@ -131,6 +144,11 @@ func NewPlanOpts(model acf.Model, n int, opt PlanOptions) (*Plan, error) {
 	}
 
 	for k := 1; k < n; k++ {
+		if k%ctxCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		prev := p.flat[rowOffset(k-1) : rowOffset(k-1)+k-1] // reversed row k-1
 		row := p.flat[rowOffset(k) : rowOffset(k)+k]        // reversed row k
 		m := k - 1                                          // inner-loop length

@@ -24,6 +24,7 @@
 package impsample
 
 import (
+	"context"
 	"errors"
 	"math"
 	"runtime"
@@ -133,6 +134,14 @@ func (c *Config) validate() error {
 // result. With Twist == 0 it degenerates to plain Monte Carlo on the same
 // sample paths, which is how the estimator's unbiasedness is tested.
 func Estimate(cfg Config) (queue.Result, error) {
+	return EstimateCtx(context.Background(), cfg)
+}
+
+// EstimateCtx is Estimate with cancellation: every worker polls ctx between
+// replications and the call returns ctx.Err() instead of a partial estimate
+// when the context is done. Cancellation does not perturb determinism of
+// completed runs — sources are pre-split per replication.
+func EstimateCtx(ctx context.Context, cfg Config) (queue.Result, error) {
 	if err := cfg.validate(); err != nil {
 		return queue.Result{}, err
 	}
@@ -172,11 +181,17 @@ func Estimate(cfg Config) (queue.Result, error) {
 			defer wg.Done()
 			buf := make([]float64, cfg.Horizon)
 			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
 				weights[i], hitFlags[i] = replicate(&cfg, sources[i], buf)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return queue.Result{}, err
+	}
 	var sum, sumSq float64
 	hits := 0
 	for i, hit := range hitFlags {
@@ -270,6 +285,12 @@ func finalize(sum, sumSq float64, n, hits int) queue.Result {
 // ignored; checkpoints must be positive, strictly increasing, and bounded by
 // the plan length.
 func EstimateTransient(cfg Config, checkpoints []int) ([]queue.Result, error) {
+	return EstimateTransientCtx(context.Background(), cfg, checkpoints)
+}
+
+// EstimateTransientCtx is EstimateTransient with the same cancellation
+// contract as EstimateCtx.
+func EstimateTransientCtx(ctx context.Context, cfg Config, checkpoints []int) ([]queue.Result, error) {
 	if cfg.gen() == nil {
 		return nil, errors.New("impsample: nil plan")
 	}
@@ -325,11 +346,17 @@ func EstimateTransient(cfg Config, checkpoints []int) ([]queue.Result, error) {
 			defer wg.Done()
 			buf := make([]float64, horizon)
 			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
 				transientReplicate(&cfg, sources[i], buf, checkpoints, weights[i*nc:(i+1)*nc])
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	out := make([]queue.Result, nc)
 	for j := 0; j < nc; j++ {

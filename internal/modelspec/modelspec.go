@@ -1,0 +1,297 @@
+// Package modelspec defines the JSON wire format for traffic-model
+// specifications — the contract between the serving layer (cmd/trafficd),
+// its clients, and the offline tools. A spec names a Gaussian background
+// autocorrelation (the paper's composite knee model, eqs. 10-12) plus a
+// foreground marginal, which together determine the synthetic bytes-per-
+// frame process: X ~ N(0,1) with the given ACF, Y_k = h(X_k) (eq. 7).
+//
+// Two producers write specs: hand-written composite parameters (the curl
+// path), and cmd/fitmodel -json, which exports a fitted core.Model — the
+// compensated background ACF, the empirical marginal sample, and the fit
+// metadata (H, attenuation, foreground ACF) for the record.
+//
+// The package also implements Stream, the deterministic generation loop
+// shared by trafficd sessions and offline verification: the same spec and
+// seed yield bit-identical frames whether they are streamed over HTTP or
+// generated in-process, because both run exactly this code against the
+// process-wide plan cache.
+package modelspec
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"vbrsim/internal/acf"
+	"vbrsim/internal/core"
+	"vbrsim/internal/dist"
+	"vbrsim/internal/hosking"
+	"vbrsim/internal/rng"
+	"vbrsim/internal/transform"
+)
+
+// Spec is a serializable traffic-model specification.
+type Spec struct {
+	// Name labels the spec (becomes the default session name).
+	Name string `json:"name,omitempty"`
+	// Seed drives generation. 0 lets the server assign one (returned to the
+	// client so the stream stays reproducible).
+	Seed uint64 `json:"seed,omitempty"`
+	// ACF is the background-process autocorrelation (the compensated model
+	// when the spec comes from a fit).
+	ACF ACFSpec `json:"acf"`
+	// Marginal is the foreground marginal; nil means standard normal (the
+	// stream is the background process itself).
+	Marginal *MarginalSpec `json:"marginal,omitempty"`
+
+	// Fit metadata, written by FromModel for the record; not used for
+	// generation.
+	H           float64  `json:"h,omitempty"`
+	Attenuation float64  `json:"attenuation,omitempty"`
+	Foreground  *ACFSpec `json:"foreground,omitempty"`
+}
+
+// ACFSpec serializes the composite knee ACF.
+type ACFSpec struct {
+	Weights []float64 `json:"weights"`
+	Rates   []float64 `json:"rates"`
+	L       float64   `json:"l"`
+	Beta    float64   `json:"beta"`
+	Knee    int       `json:"knee"`
+}
+
+// Composite converts the spec to the acf model.
+func (a ACFSpec) Composite() acf.Composite {
+	return acf.Composite{
+		Weights: append([]float64(nil), a.Weights...),
+		Rates:   append([]float64(nil), a.Rates...),
+		L:       a.L,
+		Beta:    a.Beta,
+		Knee:    a.Knee,
+	}
+}
+
+func fromComposite(c acf.Composite) ACFSpec {
+	return ACFSpec{
+		Weights: append([]float64(nil), c.Weights...),
+		Rates:   append([]float64(nil), c.Rates...),
+		L:       c.L,
+		Beta:    c.Beta,
+		Knee:    c.Knee,
+	}
+}
+
+// MarginalSpec serializes the foreground marginal. Kind selects the family
+// and which parameter fields apply.
+type MarginalSpec struct {
+	// Kind is one of "normal" (Mu, Sigma), "lognormal" (Mu, Sigma of log),
+	// "gamma" (Shape, Scale), or "empirical" (Sample).
+	Kind   string    `json:"kind"`
+	Mu     float64   `json:"mu,omitempty"`
+	Sigma  float64   `json:"sigma,omitempty"`
+	Shape  float64   `json:"shape,omitempty"`
+	Scale  float64   `json:"scale,omitempty"`
+	Sample []float64 `json:"sample,omitempty"`
+}
+
+// Distribution materializes the marginal.
+func (m *MarginalSpec) Distribution() (dist.Distribution, error) {
+	switch m.Kind {
+	case "normal":
+		sigma := m.Sigma
+		if sigma == 0 {
+			sigma = 1
+		}
+		return dist.Normal{Mu: m.Mu, Sigma: sigma}, nil
+	case "lognormal":
+		if m.Sigma <= 0 {
+			return nil, errors.New("modelspec: lognormal marginal needs sigma > 0")
+		}
+		return dist.Lognormal{Mu: m.Mu, Sigma: m.Sigma}, nil
+	case "gamma":
+		if m.Shape <= 0 || m.Scale <= 0 {
+			return nil, errors.New("modelspec: gamma marginal needs shape, scale > 0")
+		}
+		return dist.Gamma{Shape: m.Shape, Scale: m.Scale}, nil
+	case "empirical":
+		return dist.NewEmpirical(m.Sample)
+	}
+	return nil, fmt.Errorf("modelspec: unknown marginal kind %q", m.Kind)
+}
+
+// Validate checks the spec without building plans.
+func (s *Spec) Validate() error {
+	if err := s.ACF.Composite().Validate(); err != nil {
+		return err
+	}
+	if s.Marginal != nil {
+		if _, err := s.Marginal.Distribution(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse decodes and validates a JSON spec. Unknown fields are rejected so
+// typos in hand-written specs fail loudly instead of silently streaming the
+// wrong model.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("modelspec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Source materializes the spec's background ACF and marginal transform.
+func (s *Spec) Source() (acf.Model, transform.T, error) {
+	if err := s.Validate(); err != nil {
+		return nil, transform.T{}, err
+	}
+	var target dist.Distribution = dist.StdNormal
+	if s.Marginal != nil {
+		d, err := s.Marginal.Distribution()
+		if err != nil {
+			return nil, transform.T{}, err
+		}
+		target = d
+	}
+	return s.ACF.Composite(), transform.New(target), nil
+}
+
+// specSampleCap bounds the empirical-marginal sample FromModel embeds in a
+// spec. Larger fitted samples are compacted onto a deterministic quantile
+// grid: the rebuilt marginal is statistically indistinguishable but the
+// spec stays a few hundred KB instead of tens of MB.
+const specSampleCap = 4096
+
+// FromModel exports a fitted unified model as a spec: the compensated
+// background ACF, the empirical marginal (quantile-compacted above
+// specSampleCap observations), and the fit metadata.
+func FromModel(m *core.Model, name string, seed uint64) Spec {
+	sample := m.Marginal.Values()
+	if len(sample) > specSampleCap {
+		grid := make([]float64, specSampleCap)
+		for i := range grid {
+			grid[i] = m.Marginal.Quantile((float64(i) + 0.5) / specSampleCap)
+		}
+		sample = grid
+	}
+	fg := fromComposite(m.Foreground)
+	return Spec{
+		Name:        name,
+		Seed:        seed,
+		ACF:         fromComposite(m.Background),
+		Marginal:    &MarginalSpec{Kind: "empirical", Sample: sample},
+		H:           m.H,
+		Attenuation: m.Attenuation,
+		Foreground:  &fg,
+	}
+}
+
+// Paper returns the ready-to-serve spec of the paper's reported model
+// (eq. 13: H = 0.9, beta = 0.2, knee 60), continuity-adjusted so it is
+// positive definite, with a long-tailed lognormal marginal standing in for
+// the proprietary trace's empirical histogram.
+func Paper() Spec {
+	c := acf.PaperComposite().Continuous()
+	if cc, err := c.EnsureConvex(); err == nil {
+		c = cc
+	}
+	return Spec{
+		Name:     "paper",
+		ACF:      fromComposite(c),
+		Marginal: &MarginalSpec{Kind: "lognormal", Mu: 9.6, Sigma: 0.4},
+		H:        0.9,
+	}
+}
+
+// Stream is the deterministic generation loop for a spec: a truncated-AR
+// fast generator (constant work and memory per frame, unbounded horizon)
+// behind the process-wide plan cache, mapped through the marginal transform.
+// It is bound to a single goroutine; trafficd serializes access per session.
+type Stream struct {
+	trunc *hosking.Truncated
+	tr    transform.T
+	gen   *hosking.TruncatedGenerator
+	seed  uint64
+}
+
+// OpenCtx builds the stream for the spec: plan acquisition (cached,
+// cancellable) plus truncation. tol is the partial-correlation cutoff
+// (0 = default). The stream starts at frame 0.
+func (s *Spec) OpenCtx(ctx context.Context, tol float64) (*Stream, error) {
+	model, tr, err := s.Source()
+	if err != nil {
+		return nil, err
+	}
+	trunc, err := core.TruncatedPlanForCtx(ctx, model, 0, tol)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stream{trunc: trunc, tr: tr, seed: s.Seed}
+	st.reset()
+	return st, nil
+}
+
+func (st *Stream) reset() {
+	st.gen = hosking.NewTruncatedGenerator(st.trunc, rng.New(st.seed))
+}
+
+// Pos returns the index of the next frame the stream will produce.
+func (st *Stream) Pos() int { return st.gen.Pos() }
+
+// Seed returns the seed driving the stream.
+func (st *Stream) Seed() uint64 { return st.seed }
+
+// Order returns the AR truncation order of the underlying fast plan.
+func (st *Stream) Order() int { return st.trunc.Order() }
+
+// MaxACFError returns the measured ACF error of the truncation.
+func (st *Stream) MaxACFError() float64 { return st.trunc.MaxACFError() }
+
+// Next produces the next foreground frame (bytes per frame).
+func (st *Stream) Next() float64 { return st.tr.Apply(st.gen.Next()) }
+
+// Fill produces len(out) consecutive frames.
+func (st *Stream) Fill(out []float64) {
+	for i := range out {
+		out[i] = st.Next()
+	}
+}
+
+// Seek positions the stream so the next frame is frame pos. Seeking
+// backwards replays deterministically from the seed (O(p) per skipped
+// frame), which is what makes reconnect-and-resume reproducible.
+func (st *Stream) Seek(pos int) {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos < st.gen.Pos() {
+		st.reset()
+	}
+	for st.gen.Pos() < pos {
+		st.gen.Next()
+	}
+}
+
+// Frames generates frames [from, from+n) offline, exactly as a trafficd
+// session streams them for the same spec and seed — the reference
+// implementation for resume semantics and for end-to-end verification.
+func (s *Spec) Frames(ctx context.Context, from, n int, tol float64) ([]float64, error) {
+	st, err := s.OpenCtx(ctx, tol)
+	if err != nil {
+		return nil, err
+	}
+	st.Seek(from)
+	out := make([]float64, n)
+	st.Fill(out)
+	return out, nil
+}

@@ -15,6 +15,7 @@
 package queue
 
 import (
+	"context"
 	"errors"
 	"math"
 	"runtime"
@@ -145,6 +146,13 @@ type MCOptions struct {
 // replication draws a fresh arrival path, runs the Lindley recursion from
 // InitialOccupancy, and tests the final occupancy against b.
 func EstimateOverflow(src PathSource, service, b float64, k int, opt MCOptions) (Result, error) {
+	return EstimateOverflowCtx(context.Background(), src, service, b, k, opt)
+}
+
+// EstimateOverflowCtx is EstimateOverflow with cancellation: workers poll
+// ctx between replications and the call returns ctx.Err() instead of a
+// partial estimate when the context is done.
+func EstimateOverflowCtx(ctx context.Context, src PathSource, service, b float64, k int, opt MCOptions) (Result, error) {
 	if k <= 0 {
 		return Result{}, errors.New("queue: non-positive horizon")
 	}
@@ -193,6 +201,9 @@ func EstimateOverflow(src PathSource, service, b float64, k int, opt MCOptions) 
 			}
 			hits := 0
 			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					break
+				}
 				var path []float64
 				if reuse {
 					srcInto.ArrivalPathInto(sources[i], buf)
@@ -209,6 +220,9 @@ func EstimateOverflow(src PathSource, service, b float64, k int, opt MCOptions) 
 	}
 	wg.Wait()
 	close(hitsCh)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	totalHits := 0
 	for h := range hitsCh {
 		totalHits += h

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vbrsim/internal/hosking"
+)
+
+// metrics is the daemon's dependency-free counter registry, rendered in
+// Prometheus text exposition format by serveMetrics. Counters are atomics;
+// the per-kind job histograms-in-miniature (sum + count) sit under a mutex
+// because they are touched once per job, not per frame.
+type metrics struct {
+	sessionsActive  atomic.Int64
+	sessionsTotal   atomic.Uint64
+	streamsRejected atomic.Uint64
+	framesStreamed  atomic.Uint64
+	jobsRejected    atomic.Uint64
+
+	mu   sync.Mutex
+	jobs map[string]*jobKindStats
+}
+
+type jobKindStats struct {
+	completed   uint64
+	failed      uint64
+	durationSum float64 // seconds, completed jobs only
+}
+
+func newMetrics() *metrics {
+	return &metrics{jobs: make(map[string]*jobKindStats)}
+}
+
+func (m *metrics) jobDone(kind string, seconds float64, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.jobs[kind]
+	if s == nil {
+		s = &jobKindStats{}
+		m.jobs[kind] = s
+	}
+	if failed {
+		s.failed++
+		return
+	}
+	s.completed++
+	s.durationSum += seconds
+}
+
+// serveMetrics renders the registry plus the process-wide plan-cache
+// counters. Names are documented in DESIGN.md; keep the two in sync.
+func (m *metrics) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("vbrsim_sessions_active", "Streaming sessions currently open.", m.sessionsActive.Load())
+	counter("vbrsim_sessions_total", "Streaming sessions created since start.", m.sessionsTotal.Load())
+	counter("vbrsim_streams_rejected_total", "Stream creations rejected (session cap or drain).", m.streamsRejected.Load())
+	counter("vbrsim_frames_streamed_total", "Frames written to stream responses.", m.framesStreamed.Load())
+	counter("vbrsim_jobs_rejected_total", "Job submissions rejected (queue full or drain).", m.jobsRejected.Load())
+
+	m.mu.Lock()
+	kinds := make([]string, 0, len(m.jobs))
+	for k := range m.jobs {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(w, "# HELP vbrsim_job_duration_seconds Wall time of completed jobs by kind.\n# TYPE vbrsim_job_duration_seconds summary\n")
+	for _, k := range kinds {
+		s := m.jobs[k]
+		fmt.Fprintf(w, "vbrsim_job_duration_seconds_sum{kind=%q} %g\n", k, s.durationSum)
+		fmt.Fprintf(w, "vbrsim_job_duration_seconds_count{kind=%q} %d\n", k, s.completed)
+	}
+	fmt.Fprintf(w, "# HELP vbrsim_jobs_failed_total Jobs that finished with an error, by kind.\n# TYPE vbrsim_jobs_failed_total counter\n")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "vbrsim_jobs_failed_total{kind=%q} %d\n", k, m.jobs[k].failed)
+	}
+	m.mu.Unlock()
+
+	cs := hosking.Shared.Stats()
+	counter("vbrsim_plan_cache_hits_total", "Durbin-Levinson plan cache hits.", cs.Hits)
+	counter("vbrsim_plan_cache_misses_total", "Durbin-Levinson plan cache misses (builds).", cs.Misses)
+	counter("vbrsim_plan_cache_evictions_total", "Plans evicted from the cache.", cs.Evictions)
+	counter("vbrsim_plan_cache_singleflight_waits_total", "Lookups that waited on an in-flight build.", cs.SingleflightWaits)
+}

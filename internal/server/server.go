@@ -1,0 +1,178 @@
+// Package server implements trafficd, the streaming VBR-traffic service:
+// named generation sessions streaming bytes-per-frame over HTTP (NDJSON or
+// binary float64), an async job queue for fitting and overflow estimation,
+// and Prometheus-style observability.
+//
+// The HTTP surface:
+//
+//	GET    /healthz                      liveness (503 while draining)
+//	GET    /metrics                      Prometheus text format
+//	POST   /v1/streams                   create a session from a modelspec
+//	GET    /v1/streams                   list sessions
+//	GET    /v1/streams/{id}              session state
+//	DELETE /v1/streams/{id}              close a session
+//	GET    /v1/streams/{id}/frames?n=N   stream N frames (&from=K to seek)
+//	POST   /v1/jobs                      submit fit / qsim-mc / qsim-is
+//	GET    /v1/jobs                      list jobs
+//	GET    /v1/jobs/{id}                 poll one job
+//
+// Sessions are deterministic: a session's frames are a pure function of its
+// spec and seed, so a client that reconnects can replay any range with
+// from=, and the same spec and seed generated offline (modelspec.Frames or
+// cmd/synth with the fast backend) yield bit-identical values.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures the service.
+type Options struct {
+	// MaxSessions caps concurrently open streaming sessions; creations
+	// beyond it get 429. Default 64.
+	MaxSessions int
+	// JobWorkers is the job worker-pool size. Default GOMAXPROCS, capped
+	// at 4 so jobs (which parallelize internally) cannot starve streams.
+	JobWorkers int
+	// JobQueueDepth bounds queued-but-unstarted jobs; submissions beyond
+	// it get 429. Default 64.
+	JobQueueDepth int
+	// Seed is the base for per-session seed derivation when a spec does
+	// not pin one. Default 1.
+	Seed uint64
+	// Tol is the truncation tolerance for session fast plans (0 = default).
+	Tol float64
+	// MaxBodyBytes caps request bodies (specs can embed empirical samples,
+	// fit jobs whole traces). Default 64 MiB.
+	MaxBodyBytes int64
+}
+
+func (o *Options) fill() {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 64
+	}
+	if o.JobWorkers <= 0 {
+		o.JobWorkers = runtime.GOMAXPROCS(0)
+		if o.JobWorkers > 4 {
+			o.JobWorkers = 4
+		}
+	}
+	if o.JobQueueDepth <= 0 {
+		o.JobQueueDepth = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+}
+
+var (
+	errDraining   = errors.New("server is draining")
+	errSessionCap = errors.New("session limit reached")
+	errQueueFull  = errors.New("job queue full")
+	errNoSession  = errors.New("no such session")
+)
+
+// Server is the trafficd service. It implements http.Handler.
+type Server struct {
+	opt     Options
+	mux     *http.ServeMux
+	metrics *metrics
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu          sync.Mutex
+	sessions    map[string]*session
+	nextSession uint64
+	draining    bool
+
+	seedOrdinal atomic.Uint64
+	jobs        *jobPool
+}
+
+// New builds a Server ready to serve.
+func New(opt Options) *Server {
+	opt.fill()
+	s := &Server{
+		opt:      opt,
+		mux:      http.NewServeMux(),
+		metrics:  newMetrics(),
+		sessions: make(map[string]*session),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.jobs = newJobPool(s, opt.JobWorkers, opt.JobQueueDepth)
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics.serveMetrics)
+	s.mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
+	s.mux.HandleFunc("GET /v1/streams", s.handleStreamList)
+	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamGet)
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)
+	s.mux.HandleFunc("GET /v1/streams/{id}/frames", s.handleStreamFrames)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	return s
+}
+
+// ServeHTTP dispatches to the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// BeginDrain stops admitting new sessions and jobs while letting in-flight
+// streams and queued jobs finish; /healthz flips to 503 so load balancers
+// stop routing here. Call on SIGTERM, then shut the http.Server down
+// gracefully, then Close.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.jobs.drain()
+}
+
+// Close cancels running jobs and waits for the worker pool to exit.
+// Sessions hold no goroutines or external resources, so dropping the
+// Server after Close releases everything.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.cancelBase()
+	s.jobs.wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Response helpers
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vbrsim/internal/modelspec"
+)
+
+// session is one named generation stream: a modelspec.Stream plus the
+// bookkeeping the HTTP layer needs. The mutex serializes frame production —
+// concurrent reads of the same session see disjoint, consecutive frame
+// ranges unless they pin an explicit from= offset.
+type session struct {
+	id      string
+	name    string
+	seed    uint64
+	created time.Time
+
+	mu     sync.Mutex
+	stream *modelspec.Stream
+	served uint64 // frames written over all requests
+}
+
+// SessionInfo is the public view of a session.
+type SessionInfo struct {
+	ID          string    `json:"id"`
+	Name        string    `json:"name"`
+	Seed        uint64    `json:"seed"`
+	Pos         int       `json:"pos"`
+	Served      uint64    `json:"frames_served"`
+	Order       int       `json:"ar_order"`
+	MaxACFError float64   `json:"max_acf_error"`
+	Created     time.Time `json:"created"`
+}
+
+func (ss *session) info() SessionInfo {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return SessionInfo{
+		ID:          ss.id,
+		Name:        ss.name,
+		Seed:        ss.seed,
+		Pos:         ss.stream.Pos(),
+		Served:      ss.served,
+		Order:       ss.stream.Order(),
+		MaxACFError: ss.stream.MaxACFError(),
+		Created:     ss.created,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Session registry (on Server)
+
+// addSession registers a new session, enforcing the concurrency cap.
+func (s *Server) addSession(ss *session) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	if len(s.sessions) >= s.opt.MaxSessions {
+		return errSessionCap
+	}
+	s.nextSession++
+	ss.id = fmt.Sprintf("s%d", s.nextSession)
+	s.sessions[ss.id] = ss
+	s.metrics.sessionsActive.Add(1)
+	s.metrics.sessionsTotal.Add(1)
+	return nil
+}
+
+func (s *Server) getSession(id string) (*session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss, ok := s.sessions[id]
+	return ss, ok
+}
+
+func (s *Server) removeSession(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		return false
+	}
+	delete(s.sessions, id)
+	s.metrics.sessionsActive.Add(-1)
+	return true
+}
+
+// deriveSeed assigns a deterministic seed to the n-th auto-seeded session:
+// SplitMix64 of the server base seed and the session ordinal. Restarting the
+// daemon with the same base seed reproduces the same seed sequence, and the
+// seed is echoed in the create response so clients can regenerate offline.
+func deriveSeed(base, ordinal uint64) uint64 {
+	z := base + ordinal*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// HTTP handlers
+
+func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+	var spec modelspec.Spec
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if spec.Seed == 0 {
+		spec.Seed = deriveSeed(s.opt.Seed, s.seedOrdinal.Add(1))
+	}
+	// Plan acquisition is the expensive step; it is cancellable by the
+	// client and shared across sessions through the plan cache.
+	stream, err := spec.OpenCtx(r.Context(), s.opt.Tol)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing to report
+		}
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	name := spec.Name
+	if name == "" {
+		name = "stream"
+	}
+	ss := &session{name: name, seed: spec.Seed, created: time.Now(), stream: stream}
+	if err := s.addSession(ss); err != nil {
+		s.metrics.streamsRejected.Add(1)
+		code := http.StatusTooManyRequests
+		if errors.Is(err, errDraining) {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, ss.info())
+}
+
+func (s *Server) handleStreamList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	list := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		list = append(list, ss)
+	}
+	s.mu.Unlock()
+	infos := make([]SessionInfo, len(list))
+	for i, ss := range list {
+		infos[i] = ss.info()
+	}
+	sortSessionInfos(infos)
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.getSession(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, errNoSession)
+		return
+	}
+	writeJSON(w, http.StatusOK, ss.info())
+}
+
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.removeSession(r.PathValue("id")) {
+		httpError(w, http.StatusNotFound, errNoSession)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// streamChunk bounds both the write granularity and the buffered bytes per
+// stream: frames are generated and flushed streamChunk at a time, so a slow
+// reader blocks the generator (backpressure) instead of growing a buffer,
+// and a vanished client is noticed within one chunk.
+const streamChunk = 1024
+
+func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.getSession(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, errNoSession)
+		return
+	}
+	q := r.URL.Query()
+	n, err := strconv.Atoi(q.Get("n"))
+	if err != nil || n <= 0 {
+		httpError(w, http.StatusBadRequest, errors.New("need n > 0 frames"))
+		return
+	}
+	from := -1 // -1: continue from the session's current position
+	if v := q.Get("from"); v != "" {
+		from, err = strconv.Atoi(v)
+		if err != nil || from < 0 {
+			httpError(w, http.StatusBadRequest, errors.New("from must be a non-negative frame index"))
+			return
+		}
+	}
+	binaryOut := wantsBinary(r)
+
+	// Hold the session for the whole response: concurrent readers of one
+	// session are serialized, so each sees a consistent frame range.
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if from >= 0 {
+		ss.stream.Seek(from)
+	}
+	start := ss.stream.Pos()
+
+	if binaryOut {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("X-Stream-Start", strconv.Itoa(start))
+	w.Header().Set("X-Stream-Seed", strconv.FormatUint(ss.seed, 10))
+	flusher, _ := w.(http.Flusher)
+
+	ctx := r.Context()
+	buf := make([]float64, 0, streamChunk)
+	out := make([]byte, 0, streamChunk*10)
+	written := 0
+	for written < n {
+		if ctx.Err() != nil {
+			return // client gone; the session position stays where it got to
+		}
+		c := n - written
+		if c > streamChunk {
+			c = streamChunk
+		}
+		buf = buf[:c]
+		ss.stream.Fill(buf)
+
+		out = out[:0]
+		if binaryOut {
+			for _, v := range buf {
+				out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+			}
+		} else {
+			for _, v := range buf {
+				out = strconv.AppendFloat(out, v, 'g', -1, 64)
+				out = append(out, '\n')
+			}
+		}
+		if _, err := w.Write(out); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		written += c
+		ss.served += uint64(c)
+		s.metrics.framesStreamed.Add(uint64(c))
+	}
+}
+
+// wantsBinary negotiates the frame encoding: binary float64 little-endian
+// when the client asks for application/octet-stream (Accept header or
+// format=binary), NDJSON otherwise.
+func wantsBinary(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "binary":
+		return true
+	case "ndjson":
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/octet-stream")
+}
+
+func sortSessionInfos(infos []SessionInfo) {
+	// IDs are s1, s2, ...: compare numerically by length then lexically.
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && sessionIDLess(infos[j].ID, infos[j-1].ID); j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}
+
+func sessionIDLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}

@@ -1,8 +1,17 @@
 #!/bin/sh
-# CI gate: build, vet, race-check (short mode), then the full test suite.
+# CI gate: formatting, build, vet, race-check (short mode), the full test
+# suite, and a trafficd daemon smoke test.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go build"
 go build ./...
@@ -15,5 +24,35 @@ go test -race -short ./...
 
 echo "== go test"
 go test ./...
+
+echo "== trafficd smoke test"
+# Start the daemon on an ephemeral port, hit /healthz and a 100-frame
+# stream, then shut it down with SIGTERM (exercising graceful drain).
+tmpdir=$(mktemp -d)
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/trafficd" ./cmd/trafficd
+"$tmpdir/trafficd" -addr 127.0.0.1:0 >"$tmpdir/out" 2>"$tmpdir/err" &
+daemon_pid=$!
+base=""
+for _ in $(seq 1 50); do
+    base=$(sed -n 's#^trafficd listening on \(http://.*\)$#\1#p' "$tmpdir/out")
+    [ -n "$base" ] && break
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "trafficd did not report its address" >&2; cat "$tmpdir/err" >&2; exit 1; }
+
+curl -sSf "$base/healthz" | grep -q ok
+sid=$(curl -sSf -X POST "$base/v1/streams" \
+    -d '{"name":"smoke","seed":7,"acf":{"weights":[1],"rates":[0.005869930388252342],"l":1.59468,"beta":0.2,"knee":60},"marginal":{"kind":"lognormal","mu":9.6,"sigma":0.4},"h":0.9}' \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$sid" ] || { echo "stream creation failed" >&2; exit 1; }
+frames=$(curl -sSf "$base/v1/streams/$sid/frames?n=100" | wc -l)
+[ "$frames" -eq 100 ] || { echo "expected 100 frames, got $frames" >&2; exit 1; }
+curl -sSf "$base/metrics" | grep -q '^vbrsim_frames_streamed_total 100$'
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "trafficd exited nonzero after SIGTERM" >&2; exit 1; }
+grep -q draining "$tmpdir/err"
+echo "smoke test OK"
 
 echo "CI OK"

@@ -77,6 +77,14 @@ type FastPlan = hosking.Truncated
 // TruncateOptions controls how an exact plan is frozen into a FastPlan.
 type TruncateOptions = hosking.TruncateOptions
 
+// PlanCacheStats is a snapshot of the shared plan cache's counters (the
+// same figures trafficd exports as vbrsim_plan_cache_* metrics).
+type PlanCacheStats = hosking.CacheStats
+
+// SharedPlanCacheStats reports the process-wide plan cache's hit, miss,
+// eviction, and singleflight-wait counts.
+func SharedPlanCacheStats() PlanCacheStats { return hosking.Shared.Stats() }
+
 // Fit runs the paper's Steps 1-4 on a bytes-per-frame record.
 func Fit(sizes []float64, opt FitOptions) (*Model, error) { return core.Fit(sizes, opt) }
 
