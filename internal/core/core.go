@@ -110,6 +110,13 @@ type Model struct {
 
 // Fit runs Steps 1-4 on a bytes-per-frame record.
 func Fit(sizes []float64, opt FitOptions) (*Model, error) {
+	return FitCtx(context.Background(), sizes, opt)
+}
+
+// FitCtx is Fit with cancellation: ctx is observed by the Step 3 plan build
+// and polled between attenuation replications, so a canceled server job
+// stops within one replication instead of running the pipeline to the end.
+func FitCtx(ctx context.Context, sizes []float64, opt FitOptions) (*Model, error) {
 	if len(sizes) < 1024 {
 		return nil, errors.New("core: trace too short to fit (need >= 1024 frames)")
 	}
@@ -175,11 +182,11 @@ func Fit(sizes []float64, opt FitOptions) (*Model, error) {
 		}
 	}
 	planLen := 4 * maxMeasureLag
-	plan, err := hosking.CachedPlan(m.Foreground, planLen)
+	plan, err := hosking.CachedPlanCtx(ctx, m.Foreground, planLen)
 	if err != nil {
 		return nil, fmt.Errorf("core: step 3 (attenuation plan): %w", err)
 	}
-	m.Attenuation, err = transform.Measure(plan, m.Transform, planLen, transform.MeasureOptions{
+	m.Attenuation, err = transform.MeasureCtx(ctx, plan, m.Transform, planLen, transform.MeasureOptions{
 		Lags:         lags,
 		Replications: opt.AttenuationReps,
 		Seed:         opt.Seed + 0x5eed,

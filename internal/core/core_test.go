@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -23,6 +25,19 @@ func testTrace(t testing.TB, frames int) *trace.Trace {
 func TestFitRejectsShortTrace(t *testing.T) {
 	if _, err := Fit(make([]float64, 100), FitOptions{}); err == nil {
 		t.Error("short trace accepted")
+	}
+}
+
+// FitCtx aborts in Step 3 on cancellation: both the attenuation plan build
+// and the replication loop observe ctx, so a canceled server job stops
+// instead of running the measurement to the end.
+func TestFitCtxCanceled(t *testing.T) {
+	tr := testTrace(t, 1<<17)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := FitCtx(ctx, tr.ByType(trace.FrameI), FitOptions{Seed: 7})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

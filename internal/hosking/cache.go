@@ -228,7 +228,6 @@ func (c *PlanCache) get(ctx context.Context, model acf.Model, n int) (*Plan, err
 		if e, ok := c.ident[ik]; ok {
 			c.tick++
 			e.used = c.tick
-			c.stats.Hits++
 			c.mu.Unlock()
 			waited, werr := waitEntry(ctx, e)
 			if waited {
@@ -238,7 +237,13 @@ func (c *PlanCache) get(ctx context.Context, model acf.Model, n int) (*Plan, err
 				return nil, werr
 			}
 			// Only successful builds stay in the identity map, but a build
-			// can still fail after this entry was recorded dead.
+			// can still fail after this entry was recorded dead — count the
+			// hit only once the entry actually delivered a plan, so the
+			// /metrics counters are not skewed by canceled waiters and
+			// failed builds.
+			if e.err == nil {
+				c.noteHit()
+			}
 			return e.plan, e.err
 		}
 		c.mu.Unlock()
@@ -302,6 +307,12 @@ func (c *PlanCache) get(ctx context.Context, model acf.Model, n int) (*Plan, err
 	e.plan = plan
 	close(e.ready)
 	return plan, nil
+}
+
+func (c *PlanCache) noteHit() {
+	c.mu.Lock()
+	c.stats.Hits++
+	c.mu.Unlock()
 }
 
 func (c *PlanCache) noteSingleflightWait() {

@@ -79,6 +79,41 @@ func TestPlanCacheStatsSingleflightWait(t *testing.T) {
 	}
 }
 
+// A waiter canceled while the build is in flight must not count as a cache
+// hit: only requests that actually received a plan move the hit counter.
+func TestPlanCacheCanceledWaiterNotCountedAsHit(t *testing.T) {
+	c := NewPlanCache(4)
+	model := acf.FGN{H: 0.85}
+	const n = 4096 // several ms of Durbin-Levinson, plenty to land in-flight
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Get(model, n); err != nil {
+			t.Error(err)
+		}
+	}()
+	for c.Len() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.GetCtx(ctx, model, n); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Hits != 0 {
+		t.Fatalf("stats %+v: canceled waiter must not count as a hit", s)
+	}
+	// A live caller after the build resolved is a hit as before.
+	if _, err := c.Get(model, n); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 1 {
+		t.Fatalf("stats %+v: want exactly the post-resolve get counted", s)
+	}
+}
+
 // A canceled context aborts the O(n^2) recursion itself.
 func TestNewPlanCtxCanceled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())

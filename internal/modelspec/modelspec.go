@@ -270,16 +270,34 @@ func (st *Stream) Fill(out []float64) {
 // Seek positions the stream so the next frame is frame pos. Seeking
 // backwards replays deterministically from the seed (O(p) per skipped
 // frame), which is what makes reconnect-and-resume reproducible.
-func (st *Stream) Seek(pos int) {
+func (st *Stream) Seek(pos int) { st.SeekCtx(context.Background(), pos) }
+
+// seekCheckEvery is how many skipped frames SeekCtx generates between
+// context polls: frequent enough that canceling a request aborts a long
+// replay within milliseconds, rare enough to stay invisible in the O(p)
+// per-frame cost.
+const seekCheckEvery = 1 << 13
+
+// SeekCtx is Seek with cancellation. pos is client-controlled in trafficd,
+// so the replay loop polls ctx; on cancellation the stream is left at
+// whatever position the replay reached (still a valid state — a later seek
+// continues or resets from there).
+func (st *Stream) SeekCtx(ctx context.Context, pos int) error {
 	if pos < 0 {
 		pos = 0
 	}
 	if pos < st.gen.Pos() {
 		st.reset()
 	}
-	for st.gen.Pos() < pos {
+	for n := 0; st.gen.Pos() < pos; n++ {
+		if n%seekCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		st.gen.Next()
 	}
+	return nil
 }
 
 // Frames generates frames [from, from+n) offline, exactly as a trafficd
@@ -290,7 +308,9 @@ func (s *Spec) Frames(ctx context.Context, from, n int, tol float64) ([]float64,
 	if err != nil {
 		return nil, err
 	}
-	st.Seek(from)
+	if err := st.SeekCtx(ctx, from); err != nil {
+		return nil, err
+	}
 	out := make([]float64, n)
 	st.Fill(out)
 	return out, nil

@@ -182,6 +182,32 @@ func TestOpenCtxCanceled(t *testing.T) {
 	}
 }
 
+// SeekCtx aborts the skipped-frame replay on cancellation instead of
+// generating every frame up to a client-controlled position.
+func TestSeekCtxCanceled(t *testing.T) {
+	s := Paper()
+	s.Seed = 5
+	st, err := s.OpenCtx(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := st.SeekCtx(ctx, 1<<20); err != context.Canceled {
+		t.Fatalf("SeekCtx err = %v, want context.Canceled", err)
+	}
+	if st.Pos() >= 1<<20 {
+		t.Fatalf("pos = %d: the canceled seek ran to completion", st.Pos())
+	}
+	// The stream is still usable: a live seek lands exactly.
+	if err := st.SeekCtx(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pos() != 100 {
+		t.Fatalf("pos after live seek = %d, want 100", st.Pos())
+	}
+}
+
 func TestStreamMatchesBatchTruncated(t *testing.T) {
 	// The streaming generator must be bit-identical to batch generation with
 	// the same plan and seed — the guarantee resume semantics rest on.

@@ -125,11 +125,15 @@ func newJobPool(s *Server, workers, depth int) *jobPool {
 	return p
 }
 
-// submit enqueues a job, or reports that the queue is full.
+// submit enqueues a job, or reports that the queue is full. The channel send
+// happens under p.mu — the queue is buffered so the select never blocks —
+// which makes it mutually exclusive with drain's close(p.queue): a submit
+// racing a SIGTERM drain gets errDraining instead of panicking on a send to
+// a closed channel.
 func (p *jobPool) submit(req JobRequest) (*jobState, error) {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.stopped {
-		p.mu.Unlock()
 		return nil, errDraining
 	}
 	p.nextID++
@@ -137,16 +141,11 @@ func (p *jobPool) submit(req JobRequest) (*jobState, error) {
 		job: Job{ID: fmt.Sprintf("j%d", p.nextID), Kind: req.Kind, Status: "queued", Created: time.Now()},
 		req: req,
 	}
-	p.byID[js.job.ID] = js
-	p.mu.Unlock()
-
 	select {
 	case p.queue <- js:
+		p.byID[js.job.ID] = js
 		return js, nil
 	default:
-		p.mu.Lock()
-		delete(p.byID, js.job.ID)
-		p.mu.Unlock()
 		return nil, errQueueFull
 	}
 }
@@ -229,7 +228,7 @@ func (js *jobState) fail(err error) {
 func runJob(ctx context.Context, req JobRequest) (any, error) {
 	switch req.Kind {
 	case "fit":
-		m, err := core.Fit(req.Trace, core.FitOptions{Seed: req.Seed})
+		m, err := core.FitCtx(ctx, req.Trace, core.FitOptions{Seed: req.Seed})
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -13,6 +14,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -387,14 +389,43 @@ func TestDrainRejectsNewWork(t *testing.T) {
 	}
 }
 
+// Submissions racing a drain must either enqueue or get errDraining /
+// errQueueFull — never panic on a send to the closed queue channel.
+func TestJobSubmitDrainRace(t *testing.T) {
+	s := New(Options{JobQueueDepth: 4})
+	defer s.Close()
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 200; j++ {
+				_, err := s.jobs.submit(JobRequest{Kind: "qsim-mc"})
+				if errors.Is(err, errDraining) {
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	s.jobs.drain()
+	wg.Wait()
+	if _, err := s.jobs.submit(JobRequest{Kind: "qsim-mc"}); !errors.Is(err, errDraining) {
+		t.Fatalf("post-drain submit: %v, want errDraining", err)
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	info := createStream(t, ts.URL, paperSpec(10))
 
 	for _, url := range []string{
-		ts.URL + "/v1/streams/" + info.ID + "/frames",             // missing n
-		ts.URL + "/v1/streams/" + info.ID + "/frames?n=-5",        // bad n
-		ts.URL + "/v1/streams/" + info.ID + "/frames?n=1&from=-2", // bad from
+		ts.URL + "/v1/streams/" + info.ID + "/frames",                    // missing n
+		ts.URL + "/v1/streams/" + info.ID + "/frames?n=-5",               // bad n
+		ts.URL + "/v1/streams/" + info.ID + "/frames?n=1&from=-2",        // bad from
+		ts.URL + "/v1/streams/" + info.ID + "/frames?n=1&from=999999999", // seek too far ahead
 	} {
 		resp, err := http.Get(url)
 		if err != nil {

@@ -191,6 +191,12 @@ func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
 // and a vanished client is noticed within one chunk.
 const streamChunk = 1024
 
+// maxSeekAhead caps how far past the session's current position from= may
+// seek in one request. Skipped frames are generated one by one, so the cap
+// bounds the worst-case hidden work a request can demand (a few seconds)
+// while staying far above any real resume gap.
+const maxSeekAhead = 1 << 24
+
 func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) {
 	ss, ok := s.getSession(r.PathValue("id"))
 	if !ok {
@@ -212,13 +218,25 @@ func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	binaryOut := wantsBinary(r)
+	ctx := r.Context()
 
 	// Hold the session for the whole response: concurrent readers of one
 	// session are serialized, so each sees a consistent frame range.
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if from >= 0 {
-		ss.stream.Seek(from)
+		// Seeking forward generates every skipped frame, so a huge
+		// client-supplied from would pin a core while holding ss.mu: bound
+		// it relative to the current position, and let a disconnect or
+		// shutdown abort the replay loop.
+		if ahead := from - ss.stream.Pos(); ahead > maxSeekAhead {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("from=%d is %d frames ahead of position %d (max %d); stream the range instead", from, ahead, ss.stream.Pos(), maxSeekAhead))
+			return
+		}
+		if ss.stream.SeekCtx(ctx, from) != nil {
+			return // client gone mid-replay; the session stays where it got to
+		}
 	}
 	start := ss.stream.Pos()
 
@@ -231,7 +249,6 @@ func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Stream-Seed", strconv.FormatUint(ss.seed, 10))
 	flusher, _ := w.(http.Flusher)
 
-	ctx := r.Context()
 	buf := make([]float64, 0, streamChunk)
 	out := make([]byte, 0, streamChunk*10)
 	written := 0

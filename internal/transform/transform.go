@@ -17,6 +17,7 @@
 package transform
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -128,6 +129,12 @@ type MeasureOptions struct {
 // ratio of foreground to background ACF at large lags. The pathLen is
 // capped at the plan length.
 func Measure(plan *hosking.Plan, t T, pathLen int, opt MeasureOptions) (float64, error) {
+	return MeasureCtx(context.Background(), plan, t, pathLen, opt)
+}
+
+// MeasureCtx is Measure with cancellation: ctx is polled between
+// replications, so a canceled caller waits at most one path generation.
+func MeasureCtx(ctx context.Context, plan *hosking.Plan, t T, pathLen int, opt MeasureOptions) (float64, error) {
 	if pathLen > plan.Len() {
 		pathLen = plan.Len()
 	}
@@ -154,6 +161,9 @@ func Measure(plan *hosking.Plan, t T, pathLen int, opt MeasureOptions) (float64,
 	xACov := make([]float64, maxLag+1)
 	yACov := make([]float64, maxLag+1)
 	for rep := 0; rep < opt.Replications; rep++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		x := plan.Path(r, pathLen)
 		y := t.ApplySlice(x)
 		ax := stats.AutocovarianceKnownMean(x, 0, maxLag)

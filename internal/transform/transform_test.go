@@ -1,6 +1,8 @@
 package transform
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -174,6 +176,23 @@ func TestMeasureValidation(t *testing.T) {
 	}
 	if _, err := Measure(plan, h, 100, MeasureOptions{Lags: []int{-1}}); err == nil {
 		t.Error("negative lag accepted")
+	}
+}
+
+// MeasureCtx polls its context between replications, so a canceled caller
+// aborts instead of running the full measurement.
+func TestMeasureCtxCanceled(t *testing.T) {
+	plan, err := hosking.NewPlan(acf.FGN{H: 0.85}, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = MeasureCtx(ctx, plan, New(dist.StdNormal), 600, MeasureOptions{
+		Lags: []int{100}, Replications: 200, Seed: 3,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
