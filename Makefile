@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci bench clean
+.PHONY: all build test race vet ci bench conformance clean
 
 all: build
 
@@ -24,6 +24,11 @@ ci:
 # Runs the ablation suite and writes machine-readable BENCH_1.json.
 bench:
 	$(GO) run ./cmd/bench
+
+# Statistical acceptance suite (quick mode); writes CONFORMANCE_1.json.
+# Use `go run ./cmd/conformance -full` for paper-scale sample sizes.
+conformance:
+	$(GO) run ./cmd/conformance -quick -out CONFORMANCE_1.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,109 @@
+// Command conformance runs the statistical acceptance suite: deterministic,
+// seeded checks that the generator backends still produce paper-conformant
+// traffic (marginal fit, ACF in both regimes, Hurst recovery, cross-backend
+// agreement, IS-vs-MC queue tails). It prints a human-readable summary,
+// optionally writes the machine-readable JSON report, and exits nonzero on
+// any failed check — CI gates on it via scripts/ci.sh.
+//
+// Usage:
+//
+//	conformance [-quick|-full] [-seed N] [-only substring] [-out report.json]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"vbrsim/internal/conformance"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("conformance", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "CI-sized sample sizes (the default)")
+	full := fs.Bool("full", false, "paper-scale sample sizes")
+	seed := fs.Uint64("seed", conformance.DefaultSeed, "suite seed (every check derives sub-seeds from it)")
+	only := fs.String("only", "", "run only checks whose name or family contains this substring")
+	out := fs.String("out", "", "write the JSON report to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *quick && *full {
+		fmt.Fprintln(stderr, "conformance: -quick and -full are mutually exclusive")
+		return 2
+	}
+	cfg := conformance.Config{Full: *full, Seed: *seed}
+
+	checks := conformance.Suite()
+	if *only != "" {
+		var kept []conformance.Check
+		for _, c := range checks {
+			if strings.Contains(c.Name(), *only) || strings.Contains(c.Family(), *only) {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(stderr, "conformance: no check matches %q\n", *only)
+			return 2
+		}
+		checks = kept
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(stdout, "conformance suite: %d checks, %s mode, seed %d\n", len(checks), cfg.Mode(), cfg.Seed)
+	report := conformance.RunSuite(ctx, checks, cfg)
+	for _, r := range report.Results {
+		status := "PASS"
+		if !r.Passed {
+			status = "FAIL"
+		}
+		fmt.Fprintf(stdout, "%s  %-28s [%s]  %5.1fs\n", status, r.Name, r.Family, r.Duration)
+		for _, m := range r.Metrics {
+			mark := "ok"
+			if !m.Pass {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(stdout, "      %-40s %12.5g %s %-12.5g %s\n", m.Name, m.Value, m.Op, m.Bound, mark)
+		}
+		for _, n := range r.Notes {
+			fmt.Fprintf(stdout, "      # %s\n", n)
+		}
+		if r.Err != "" {
+			fmt.Fprintf(stdout, "      ! %s\n", r.Err)
+		}
+	}
+	fmt.Fprintf(stdout, "%d checks, %d failed, %.1fs total\n", report.Checks, report.Failed, report.Duration)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "conformance: %v\n", err)
+			return 1
+		}
+		werr := report.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "conformance: writing report: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", *out)
+	}
+	if !report.Passed {
+		return 1
+	}
+	return 0
+}

@@ -461,13 +461,18 @@ type Empirical struct {
 }
 
 // NewEmpirical builds an empirical distribution from a sample. It returns an
-// error for an empty sample.
+// error for an empty sample and for one containing NaN, which would break
+// the sorted-order invariant behind CDF and Quantile.
 func NewEmpirical(sample []float64) (*Empirical, error) {
 	if len(sample) == 0 {
 		return nil, errors.New("dist: empty sample for Empirical")
 	}
 	s := append([]float64(nil), sample...)
 	sort.Float64s(s)
+	// sort.Float64s orders NaN before everything, so one check covers all.
+	if math.IsNaN(s[0]) {
+		return nil, errors.New("dist: sample for Empirical contains NaN")
+	}
 	var sum float64
 	for _, v := range s {
 		sum += v
@@ -484,8 +489,12 @@ func (e *Empirical) CDF(x float64) float64 {
 // Quantile returns the interpolated p-quantile of the sample. p outside
 // [0,1] is clamped, so the transform h(X) never produces values beyond the
 // observed range — exactly the histogram-inversion behaviour of the paper.
+// A NaN p yields NaN rather than an out-of-range index.
 func (e *Empirical) Quantile(p float64) float64 {
 	n := len(e.sorted)
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
 	if p <= 0 {
 		return e.sorted[0]
 	}

@@ -119,7 +119,7 @@ func Autocovariance(x []float64, maxLag int) []float64 {
 // bias the sample-mean version suffers on long-range dependent series.
 func AutocovarianceKnownMean(x []float64, mean float64, maxLag int) []float64 {
 	n := len(x)
-	if n == 0 {
+	if n == 0 || maxLag < 0 {
 		return nil
 	}
 	if maxLag >= n {

@@ -166,24 +166,36 @@ func (s *Spec) Source() (acf.Model, transform.T, error) {
 	return s.ACF.Composite(), transform.New(target), nil
 }
 
-// specSampleCap bounds the empirical-marginal sample FromModel embeds in a
+// SampleCap bounds the empirical-marginal sample FromModel embeds in a
 // spec. Larger fitted samples are compacted onto a deterministic quantile
 // grid: the rebuilt marginal is statistically indistinguishable but the
 // spec stays a few hundred KB instead of tens of MB.
-const specSampleCap = 4096
+const SampleCap = 4096
+
+// CompactSample returns the quantile-compacted wire form of an empirical
+// marginal: the sample itself when it has at most SampleCap observations,
+// otherwise the SampleCap-point grid of quantiles at (i+0.5)/SampleCap.
+// The result is sorted and at most SampleCap long, so compacting is
+// idempotent: rebuilding an Empirical from the result and compacting again
+// reproduces the identical slice (the encode-decode-encode stability the
+// fuzz tests lock in).
+func CompactSample(e *dist.Empirical) []float64 {
+	sample := e.Values()
+	if len(sample) <= SampleCap {
+		return sample
+	}
+	grid := make([]float64, SampleCap)
+	for i := range grid {
+		grid[i] = e.Quantile((float64(i) + 0.5) / SampleCap)
+	}
+	return grid
+}
 
 // FromModel exports a fitted unified model as a spec: the compensated
 // background ACF, the empirical marginal (quantile-compacted above
-// specSampleCap observations), and the fit metadata.
+// SampleCap observations), and the fit metadata.
 func FromModel(m *core.Model, name string, seed uint64) Spec {
-	sample := m.Marginal.Values()
-	if len(sample) > specSampleCap {
-		grid := make([]float64, specSampleCap)
-		for i := range grid {
-			grid[i] = m.Marginal.Quantile((float64(i) + 0.5) / specSampleCap)
-		}
-		sample = grid
-	}
+	sample := CompactSample(m.Marginal)
 	fg := fromComposite(m.Foreground)
 	return Spec{
 		Name:        name,

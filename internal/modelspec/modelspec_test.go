@@ -158,8 +158,8 @@ func TestFromModelRoundTrip(t *testing.T) {
 	if got.Marginal == nil || got.Marginal.Kind != "empirical" {
 		t.Fatalf("marginal kind = %+v, want empirical", got.Marginal)
 	}
-	if len(got.Marginal.Sample) > specSampleCap {
-		t.Fatalf("sample not compacted: %d > %d", len(got.Marginal.Sample), specSampleCap)
+	if len(got.Marginal.Sample) > SampleCap {
+		t.Fatalf("sample not compacted: %d > %d", len(got.Marginal.Sample), SampleCap)
 	}
 	if got.H != m.H || got.Attenuation != m.Attenuation {
 		t.Fatalf("fit metadata lost: %+v", got)

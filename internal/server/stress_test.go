@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// getFrames fetches frames?n=&from= and parses the NDJSON body, returning
+// errors instead of calling t.Fatal so it is safe from stress goroutines.
+func getFrames(base, id string, from, n int) ([]float64, error) {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/streams/%s/frames?n=%d&from=%d", base, id, n, from))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("frames: %d %s", resp.StatusCode, body)
+	}
+	var out []float64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		v, err := strconv.ParseFloat(sc.Text(), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("got %d frames, want %d", len(out), n)
+	}
+	return out, nil
+}
+
+func postJSONNoFatal(url string, body any) *http.Response {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil
+	}
+	return resp
+}
+
+func decodeBody(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// TestConcurrentSeekReadStress hammers a single session with interleaved
+// reads and seeks from many goroutines while other goroutines churn
+// sessions (create/read/delete), and verifies every returned frame is
+// bit-identical to the offline Spec.Frames reference. The session mutex
+// serializes the underlying Stream, so each response must be an exact
+// contiguous window of the deterministic sequence no matter how requests
+// interleave. Run under -race (as scripts/ci.sh does) this also proves the
+// handler paths are data-race-free.
+func TestConcurrentSeekReadStress(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxSessions: 64})
+
+	const seed = 20250805
+	spec := paperSpec(seed)
+	info := createStream(t, ts.URL, spec)
+
+	// Offline reference for the whole window the stress readers touch.
+	refSpec := paperSpec(seed)
+	const window = 2048
+	want, err := refSpec.Frames(context.Background(), 0, window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := 8
+	iters := 30
+	if testing.Short() {
+		workers, iters = 4, 10
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*2)
+
+	// Seek/read workers: random offsets within the window, all on the ONE
+	// shared session.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				from := rnd.Intn(window - 64)
+				n := 1 + rnd.Intn(64)
+				if from+n > window {
+					n = window - from
+				}
+				got, err := getFrames(ts.URL, info.ID, from, n)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d iter %d: %w", w, i, err)
+					return
+				}
+				for j, v := range got {
+					if math.Float64bits(v) != math.Float64bits(want[from+j]) {
+						errc <- fmt.Errorf("worker %d iter %d: frame %d = %v, offline reference %v",
+							w, i, from+j, v, want[from+j])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Churn workers: create, read a little, delete — session lifecycle
+	// under load must not disturb the shared session above.
+	for w := 0; w < workers/2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters/2; i++ {
+				churnSpec := paperSpec(uint64(1000*w + i + 1))
+				resp := postJSONNoFatal(ts.URL+"/v1/streams", &churnSpec)
+				if resp == nil {
+					errc <- fmt.Errorf("churn %d: create failed", w)
+					return
+				}
+				if resp.StatusCode != http.StatusCreated {
+					resp.Body.Close()
+					errc <- fmt.Errorf("churn %d: create status %d", w, resp.StatusCode)
+					return
+				}
+				var churn SessionInfo
+				if err := decodeBody(resp, &churn); err != nil {
+					errc <- fmt.Errorf("churn %d: %w", w, err)
+					return
+				}
+				if _, err := getFrames(ts.URL, churn.ID, 0, 16); err != nil {
+					errc <- fmt.Errorf("churn %d read: %w", w, err)
+					return
+				}
+				req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/streams/"+churn.ID, nil)
+				if err != nil {
+					errc <- err
+					return
+				}
+				dresp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errc <- fmt.Errorf("churn %d delete: %w", w, err)
+					return
+				}
+				dresp.Body.Close()
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// After the storm, the shared session still serves the exact sequence
+	// from the start.
+	got, err := getFrames(ts.URL, info.ID, 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if math.Float64bits(v) != math.Float64bits(want[i]) {
+			t.Fatalf("post-stress frame %d = %v, want %v", i, v, want[i])
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Edge-case hardening for the estimators the conformance harness leans on:
+// degenerate samples (empty, single, all-equal) and poisoned samples
+// (NaN/Inf) must produce errors or well-defined values, never panics or
+// silent NaN propagation.
+
+func TestNewECDFEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      []float64
+		wantErr error
+	}{
+		{"empty", nil, ErrEmpty},
+		{"single", []float64{3}, nil},
+		{"all_equal", []float64{2, 2, 2, 2}, nil},
+		{"nan_front", []float64{math.NaN(), 1, 2}, ErrNaN},
+		{"nan_middle", []float64{1, math.NaN(), 2}, ErrNaN},
+		{"nan_only", []float64{math.NaN()}, ErrNaN},
+		{"inf_ok", []float64{math.Inf(-1), 0, math.Inf(1)}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := NewECDF(tc.in)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if e.Len() != len(tc.in) {
+				t.Fatalf("Len = %d, want %d", e.Len(), len(tc.in))
+			}
+		})
+	}
+}
+
+func TestECDFQuantileEdgeCases(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		p    float64
+		want float64
+	}{
+		{"below_zero_clamps", -0.5, 1},
+		{"zero", 0, 1},
+		{"one", 1, 4},
+		{"above_one_clamps", 2, 4},
+		{"median", 0.5, 2.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := e.Quantile(tc.p); got != tc.want {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+	// NaN p must yield NaN, not panic on int(NaN) indexing.
+	if got := e.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Quantile(NaN) = %v, want NaN", got)
+	}
+
+	single, err := NewECDF([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0, 0.3, 0.999, 1} {
+		if got := single.Quantile(p); got != 7 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 7", p, got)
+		}
+	}
+}
+
+func TestQQPairsEdgeCases(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if _, _, err := QQPairs(a, a, 0); err == nil {
+		t.Error("QQPairs with n=0 did not error")
+	}
+	if _, _, err := QQPairs(a, a, -3); err == nil {
+		t.Error("QQPairs with negative n did not error")
+	}
+	if _, _, err := QQPairs(nil, a, 4); !errors.Is(err, ErrEmpty) {
+		t.Errorf("QQPairs with empty a: err = %v, want ErrEmpty", err)
+	}
+	if _, _, err := QQPairs(a, []float64{math.NaN()}, 4); !errors.Is(err, ErrNaN) {
+		t.Errorf("QQPairs with NaN b: err = %v, want ErrNaN", err)
+	}
+	// All-equal samples are legitimate: every quantile is the constant.
+	qa, qb, err := QQPairs([]float64{5, 5, 5}, []float64{5, 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qa {
+		if qa[i] != 5 || qb[i] != 5 {
+			t.Fatalf("all-equal QQPairs[%d] = (%v, %v), want (5, 5)", i, qa[i], qb[i])
+		}
+	}
+}
+
+func TestAutocorrelationEdgeCases(t *testing.T) {
+	if got := Autocorrelation(nil, 5); got != nil {
+		t.Errorf("empty sample: got %v, want nil", got)
+	}
+	if got := AutocovarianceKnownMean(nil, 0, 5); got != nil {
+		t.Errorf("empty sample autocovariance: got %v, want nil", got)
+	}
+	if got := AutocovarianceKnownMean([]float64{1, 2, 3}, 0, -1); got != nil {
+		t.Errorf("negative maxLag: got %v, want nil", got)
+	}
+
+	// Single observation: only lag 0 exists regardless of requested maxLag.
+	single := Autocorrelation([]float64{4}, 3)
+	if len(single) != 1 || single[0] != 1 {
+		t.Errorf("single sample: got %v, want [1]", single)
+	}
+
+	// All-equal series has zero variance; the normalized ACF is defined to
+	// be 1 at lag 0 and 0 beyond, not NaN.
+	flat := Autocorrelation([]float64{3, 3, 3, 3}, 2)
+	if flat[0] != 1 {
+		t.Errorf("constant series lag 0 = %v, want 1", flat[0])
+	}
+	for k := 1; k < len(flat); k++ {
+		if flat[k] != 0 {
+			t.Errorf("constant series lag %d = %v, want 0", k, flat[k])
+		}
+	}
+
+	// maxLag beyond the sample clamps instead of reading out of range.
+	clamped := Autocorrelation([]float64{1, 2}, 100)
+	if len(clamped) != 2 {
+		t.Errorf("clamped length = %d, want 2", len(clamped))
+	}
+}
+
+func TestKSStatEdgeCases(t *testing.T) {
+	uniform := func(v float64) float64 {
+		return math.Min(1, math.Max(0, v))
+	}
+	if _, err := KSStat(nil, uniform); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty sample: err = %v, want ErrEmpty", err)
+	}
+	if _, err := KSStat([]float64{0.5, math.NaN()}, uniform); err == nil {
+		t.Error("NaN sample did not error")
+	}
+	badCDF := func(float64) float64 { return math.NaN() }
+	if _, err := KSStat([]float64{0.5}, badCDF); err == nil {
+		t.Error("NaN CDF did not error")
+	}
+
+	// Single observation at the median of U[0,1]: D = 1/2 on either side.
+	d, err := KSStat([]float64{0.5}, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5) > 1e-15 {
+		t.Errorf("single-point D = %v, want 0.5", d)
+	}
+
+	// A perfect uniform grid at (i+0.5)/n has D = 1/(2n).
+	n := 100
+	grid := make([]float64, n)
+	for i := range grid {
+		grid[i] = (float64(i) + 0.5) / float64(n)
+	}
+	d, err = KSStat(grid, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1.0/float64(2*n)) > 1e-12 {
+		t.Errorf("grid D = %v, want %v", d, 1.0/float64(2*n))
+	}
+
+	// All-equal sample against a continuous CDF: D = max(F, 1-F).
+	d, err = KSStat([]float64{0.2, 0.2, 0.2}, uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.8) > 1e-15 {
+		t.Errorf("all-equal D = %v, want 0.8", d)
+	}
+}
+
+func TestKSCriticalKnownValue(t *testing.T) {
+	// c(0.05) = 1.3581; at n=100 the critical value is 0.13581.
+	got, err := KSCritical(100, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.13581) > 1e-4 {
+		t.Errorf("KSCritical(100, 0.05) = %v, want 0.13581", got)
+	}
+	if _, err := KSCritical(0, 0.05); err == nil {
+		t.Error("n=0 did not error")
+	}
+	if _, err := KSCritical(10, 1.5); err == nil {
+		t.Error("alpha out of range did not error")
+	}
+}
+
+func TestChiSquareEdgeCases(t *testing.T) {
+	uniform := func(v float64) float64 {
+		return math.Min(1, math.Max(0, v))
+	}
+	if _, _, err := ChiSquare(nil, uniform, []float64{0.5}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty sample: err = %v, want ErrEmpty", err)
+	}
+	if _, _, err := ChiSquare([]float64{0.5}, uniform, nil); err == nil {
+		t.Error("no edges did not error")
+	}
+	if _, _, err := ChiSquare([]float64{0.5}, uniform, []float64{0.5, 0.5}); err == nil {
+		t.Error("non-increasing edges did not error")
+	}
+	if _, _, err := ChiSquare([]float64{math.NaN()}, uniform, []float64{0.5}); err == nil {
+		t.Error("NaN sample did not error")
+	}
+
+	// A sample that exactly matches expected counts scores 0.
+	sample := []float64{0.1, 0.3, 0.6, 0.9}
+	stat, dof, err := ChiSquare(sample, uniform, []float64{0.25, 0.5, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dof != 3 {
+		t.Errorf("dof = %d, want 3", dof)
+	}
+	if stat != 0 {
+		t.Errorf("perfectly balanced stat = %v, want 0", stat)
+	}
+
+	// Observed mass in a zero-probability bin must yield +Inf, so any
+	// finite gate fails rather than silently passing.
+	pointMass := func(v float64) float64 {
+		if v < 0.5 {
+			return 0
+		}
+		return 1
+	}
+	stat, _, err = ChiSquare([]float64{0.1}, pointMass, []float64{0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(stat, 1) {
+		t.Errorf("impossible-bin stat = %v, want +Inf", stat)
+	}
+}
+
+func TestEquiprobableEdges(t *testing.T) {
+	id := func(p float64) float64 { return p }
+	edges, err := EquiprobableEdges(id, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.5, 0.75}
+	if len(edges) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(edges), len(want))
+	}
+	for i := range want {
+		if math.Abs(edges[i]-want[i]) > 1e-15 {
+			t.Errorf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+	if _, err := EquiprobableEdges(id, 1); err == nil {
+		t.Error("bins=1 did not error")
+	}
+	flat := func(float64) float64 { return 0.5 }
+	if _, err := EquiprobableEdges(flat, 4); err == nil {
+		t.Error("constant quantile did not error")
+	}
+}
+
+func TestChiSquareCriticalAgainstTable(t *testing.T) {
+	// Reference values from standard chi-square tables; Wilson-Hilferty is
+	// good to a few percent at these dof.
+	cases := []struct {
+		dof   int
+		alpha float64
+		want  float64
+	}{
+		{10, 0.05, 18.307},
+		{63, 0.01, 92.010},
+		{100, 0.05, 124.342},
+	}
+	for _, tc := range cases {
+		got, err := ChiSquareCritical(tc.dof, tc.alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want)/tc.want > 0.02 {
+			t.Errorf("ChiSquareCritical(%d, %v) = %v, want ~%v", tc.dof, tc.alpha, got, tc.want)
+		}
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.99, 2.326348},
+		{0.025, -1.959964},
+	}
+	for _, tc := range cases {
+		if got := NormalQuantile(tc.p); math.Abs(got-tc.want) > 1e-5 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := NormalQuantile(0); !math.IsInf(got, -1) {
+		t.Errorf("NormalQuantile(0) = %v, want -Inf", got)
+	}
+	if got := NormalQuantile(1); !math.IsInf(got, 1) {
+		t.Errorf("NormalQuantile(1) = %v, want +Inf", got)
+	}
+	if got := NormalQuantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("NormalQuantile(NaN) = %v, want NaN", got)
+	}
+}

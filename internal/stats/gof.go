@@ -1,0 +1,197 @@
+// Goodness-of-fit statistics: one-sample Kolmogorov-Smirnov and chi-square
+// tests of a sample against a theoretical CDF, with the asymptotic critical
+// values needed to turn them into acceptance gates. These back the
+// conformance harness's marginal checks; the critical values assume IID
+// sampling, so gates over long-range dependent output must apply a
+// documented slack factor (see internal/conformance).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSStat returns the one-sample Kolmogorov-Smirnov statistic
+// D_n = sup_x |F_n(x) - F(x)| of the sample against the theoretical CDF.
+// It returns ErrEmpty for an empty sample and an error when the sample or
+// the CDF values are not finite.
+func KSStat(sample []float64, cdf func(float64) float64) (float64, error) {
+	n := len(sample)
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	// sort.Float64s orders NaN before everything, so one check covers all.
+	if math.IsNaN(s[0]) {
+		return 0, errors.New("stats: KSStat sample contains NaN")
+	}
+	var d float64
+	for i, v := range s {
+		f := cdf(v)
+		if math.IsNaN(f) || f < 0 || f > 1 {
+			return 0, fmt.Errorf("stats: KSStat cdf(%g) = %g outside [0,1]", v, f)
+		}
+		// D+ at the right limit of the step, D- at the left limit.
+		if up := float64(i+1)/float64(n) - f; up > d {
+			d = up
+		}
+		if down := f - float64(i)/float64(n); down > d {
+			d = down
+		}
+	}
+	return d, nil
+}
+
+// KSCritical returns the asymptotic critical value of the one-sample KS
+// statistic at significance level alpha for sample size n:
+// c(alpha)/sqrt(n) with c(alpha) = sqrt(-ln(alpha/2)/2). Valid for
+// alpha in (0, 1) and reasonable n (>= ~35 for the asymptotics to be good).
+func KSCritical(n int, alpha float64) (float64, error) {
+	if n <= 0 {
+		return 0, ErrEmpty
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, errors.New("stats: KSCritical needs alpha in (0, 1)")
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c / math.Sqrt(float64(n)), nil
+}
+
+// ChiSquare bins the sample by the edges and returns the chi-square
+// goodness-of-fit statistic against the theoretical CDF, together with the
+// degrees of freedom (bins - 1). edges must be strictly increasing and
+// define len(edges)+1 bins spanning the whole line: (-inf, edges[0]),
+// [edges[0], edges[1]), ..., [edges[m-1], +inf). Expected counts are
+// n*(F(hi) - F(lo)); bins whose expected count is below 1e-12 contribute
+// only through their observed count (observed mass in an impossible bin
+// yields +Inf, which any finite gate fails).
+func ChiSquare(sample []float64, cdf func(float64) float64, edges []float64) (stat float64, dof int, err error) {
+	n := len(sample)
+	if n == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if len(edges) == 0 {
+		return 0, 0, errors.New("stats: ChiSquare needs at least one bin edge")
+	}
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i] > edges[i-1]) {
+			return 0, 0, errors.New("stats: ChiSquare edges must be strictly increasing")
+		}
+	}
+	bins := len(edges) + 1
+	observed := make([]float64, bins)
+	for _, v := range sample {
+		if math.IsNaN(v) {
+			return 0, 0, errors.New("stats: ChiSquare sample contains NaN")
+		}
+		i := sort.SearchFloat64s(edges, v)
+		// SearchFloat64s returns the first edge >= v; v == edge belongs to
+		// the bin starting at that edge.
+		if i < len(edges) && edges[i] == v {
+			i++
+		}
+		observed[i]++
+	}
+	prev := 0.0
+	for b := 0; b < bins; b++ {
+		next := 1.0
+		if b < len(edges) {
+			next = cdf(edges[b])
+		}
+		if math.IsNaN(next) || next < prev-1e-12 || next > 1+1e-12 {
+			return 0, 0, fmt.Errorf("stats: ChiSquare cdf not monotone in [0,1] at edge %d", b)
+		}
+		expected := float64(n) * (next - prev)
+		diff := observed[b] - expected
+		if expected > 1e-12 {
+			stat += diff * diff / expected
+		} else if observed[b] > 0 {
+			stat = math.Inf(1)
+		}
+		prev = next
+	}
+	return stat, bins - 1, nil
+}
+
+// EquiprobableEdges returns bins-1 interior edges at the quantiles
+// i/bins of the theoretical distribution, defining bins equiprobable cells
+// for ChiSquare. quantile must be nondecreasing on (0, 1).
+func EquiprobableEdges(quantile func(p float64) float64, bins int) ([]float64, error) {
+	if bins < 2 {
+		return nil, errors.New("stats: EquiprobableEdges needs bins >= 2")
+	}
+	edges := make([]float64, bins-1)
+	for i := range edges {
+		edges[i] = quantile(float64(i+1) / float64(bins))
+		if i > 0 && !(edges[i] > edges[i-1]) {
+			return nil, errors.New("stats: EquiprobableEdges quantile not strictly increasing")
+		}
+	}
+	return edges, nil
+}
+
+// ChiSquareCritical returns the approximate upper critical value of the
+// chi-square distribution with dof degrees of freedom at significance
+// level alpha, by the Wilson-Hilferty cube approximation. Accurate to a
+// few percent for dof >= 3, which is ample for acceptance gating.
+func ChiSquareCritical(dof int, alpha float64) (float64, error) {
+	if dof <= 0 {
+		return 0, errors.New("stats: ChiSquareCritical needs dof > 0")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, errors.New("stats: ChiSquareCritical needs alpha in (0, 1)")
+	}
+	z := NormalQuantile(1 - alpha)
+	k := float64(dof)
+	t := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * t * t * t, nil
+}
+
+// NormalQuantile returns the standard normal quantile at p in (0, 1) by
+// the Beasley-Springer-Moro rational approximation (absolute error below
+// 3e-9 over the whole range), enough for critical values and confidence
+// bands.
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		if p == 0 {
+			return math.Inf(-1)
+		}
+		if p == 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	// Beasley-Springer central region plus Moro tail expansion.
+	a := [4]float64{2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637}
+	b := [4]float64{-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833}
+	c := [9]float64{
+		0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
+		0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
+		0.0000321767881768, 0.0000002888167364, 0.0000003960315187,
+	}
+	y := p - 0.5
+	if math.Abs(y) < 0.42 {
+		r := y * y
+		num := y * (((a[3]*r+a[2])*r+a[1])*r + a[0])
+		den := (((b[3]*r+b[2])*r+b[1])*r+b[0])*r + 1
+		return num / den
+	}
+	r := p
+	if y > 0 {
+		r = 1 - p
+	}
+	s := math.Log(-math.Log(r))
+	x := c[0]
+	pow := 1.0
+	for i := 1; i < 9; i++ {
+		pow *= s
+		x += c[i] * pow
+	}
+	if y < 0 {
+		return -x
+	}
+	return x
+}

@@ -15,6 +15,11 @@ import (
 // ErrEmpty is returned by operations that require at least one observation.
 var ErrEmpty = errors.New("stats: empty sample")
 
+// ErrNaN is returned by constructors whose order-statistic invariants a NaN
+// observation would silently corrupt (sorting is not a total order with
+// NaN present).
+var ErrNaN = errors.New("stats: sample contains NaN")
+
 // Mean returns the arithmetic mean of x, or 0 for an empty slice.
 func Mean(x []float64) float64 {
 	if len(x) == 0 {
@@ -275,13 +280,21 @@ type ECDF struct {
 	sorted []float64
 }
 
-// NewECDF copies and sorts the sample. It returns ErrEmpty for empty input.
+// NewECDF copies and sorts the sample. It returns ErrEmpty for empty input
+// and ErrNaN when the sample contains NaN (which would break the sorted-
+// order invariant every query relies on). Infinities are allowed: they sort
+// to the ends and behave as ordinary extreme observations.
 func NewECDF(x []float64) (*ECDF, error) {
 	if len(x) == 0 {
 		return nil, ErrEmpty
 	}
 	s := append([]float64(nil), x...)
 	sort.Float64s(s)
+	// After sorting, any NaN has been moved to the front (sort.Float64s
+	// orders NaN before everything), so one check suffices.
+	if math.IsNaN(s[0]) {
+		return nil, ErrNaN
+	}
 	return &ECDF{sorted: s}, nil
 }
 
@@ -295,9 +308,12 @@ func (e *ECDF) CDF(v float64) float64 {
 
 // Quantile returns the p-quantile of the sample for p in [0,1], using linear
 // interpolation between order statistics (type-7, the common default).
-// Values of p outside [0,1] are clamped.
+// Values of p outside [0,1] are clamped; a NaN p yields NaN.
 func (e *ECDF) Quantile(p float64) float64 {
 	n := len(e.sorted)
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
 	if p <= 0 {
 		return e.sorted[0]
 	}
@@ -360,8 +376,11 @@ func KolmogorovSmirnov(a, b []float64) (float64, error) {
 }
 
 // QQPairs returns n quantile pairs (q_a, q_b) for Q-Q plotting of sample a
-// against sample b, at probabilities (i+0.5)/n.
+// against sample b, at probabilities (i+0.5)/n. n must be positive.
 func QQPairs(a, b []float64, n int) (qa, qb []float64, err error) {
+	if n <= 0 {
+		return nil, nil, errors.New("stats: QQPairs needs n > 0")
+	}
 	ea, err := NewECDF(a)
 	if err != nil {
 		return nil, nil, err

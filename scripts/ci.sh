@@ -25,6 +25,19 @@ go test -race -short ./...
 echo "== go test"
 go test ./...
 
+echo "== conformance -quick"
+# Statistical acceptance gates: deterministic seeded checks that the
+# backends still produce paper-conformant traffic (marginal, ACF, Hurst,
+# cross-backend agreement, IS-vs-MC queue tails). Writes the
+# machine-readable report alongside the bench artifacts.
+go run ./cmd/conformance -quick -out CONFORMANCE_1.json
+
+echo "== fuzz smoke"
+# Bounded runs of the native fuzz targets: spec decoding must never panic
+# and quantile compaction must stay idempotent.
+go test ./internal/modelspec -run '^$' -fuzz 'FuzzModelSpecDecode' -fuzztime=5s
+go test ./internal/modelspec -run '^$' -fuzz 'FuzzQuantileRoundTrip' -fuzztime=5s
+
 echo "== trafficd smoke test"
 # Start the daemon on an ephemeral port, hit /healthz and a 100-frame
 # stream, then shut it down with SIGTERM (exercising graceful drain).
