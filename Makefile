@@ -21,7 +21,7 @@ vet:
 ci:
 	./scripts/ci.sh
 
-# Runs the ablation suite and writes machine-readable BENCH_1.json.
+# Runs the ablation suite and writes machine-readable BENCH_2.json.
 bench:
 	$(GO) run ./cmd/bench
 

@@ -194,7 +194,7 @@ func BenchmarkAblationCompositeVsSingle(b *testing.B) {
 // ---------------------------------------------------------------------------
 // Fast-path ablation benches (DESIGN.md Section 5). The measurement bodies
 // live in internal/benchsuite so that cmd/bench reports the exact same
-// numbers to BENCH_1.json.
+// numbers to BENCH_2.json.
 
 // BenchmarkAblationFlatVsRagged compares path generation through the flat
 // single-allocation plan layout against the seed's ragged [][]float64
@@ -224,6 +224,32 @@ func BenchmarkAblationParallelPlan(b *testing.B) {
 func BenchmarkAblationPlanCache(b *testing.B) {
 	b.Run("cold", benchsuite.BenchPlanCacheCold)
 	b.Run("warm", benchsuite.BenchPlanCacheWarm)
+}
+
+// BenchmarkAblationDHPathEngine walks the Davies-Harte path-generation
+// ladder: the allocating reference, the zero-alloc bit-identical PathInto,
+// the packed real-FFT PathRealInto, and the seeded Batch engine.
+func BenchmarkAblationDHPathEngine(b *testing.B) {
+	b.Run("reference", benchsuite.BenchDHPathReference)
+	b.Run("into", benchsuite.BenchDHPathInto)
+	b.Run("real-into", benchsuite.BenchDHPathRealInto)
+	b.Run("batch", benchsuite.BenchDHBatch)
+}
+
+// BenchmarkAblationFFTTables compares on-the-fly twiddle recomputation
+// against the cached tables (bit-identical), plus the packed real-input
+// forward transform.
+func BenchmarkAblationFFTTables(b *testing.B) {
+	b.Run("reference", benchsuite.BenchFFTForwardReference)
+	b.Run("tabled", benchsuite.BenchFFTForwardTabled)
+	b.Run("real-forward", benchsuite.BenchFFTRealForward)
+}
+
+// BenchmarkAblationTransformLUT compares the exact CDF/quantile transform
+// against the precomputed monotone interpolation table.
+func BenchmarkAblationTransformLUT(b *testing.B) {
+	b.Run("exact", benchsuite.BenchTransformApplyExact)
+	b.Run("lut", benchsuite.BenchTransformApplyLUT)
 }
 
 // typeMeanError sums the relative per-frame-type mean errors between traces.

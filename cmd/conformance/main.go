@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	conformance [-quick|-full] [-seed N] [-only substring] [-out report.json]
+//	conformance [-quick|-full] [-seed N] [-workers N] [-only substring] [-out report.json]
 package main
 
 import (
@@ -33,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "CI-sized sample sizes (the default)")
 	full := fs.Bool("full", false, "paper-scale sample sizes")
 	seed := fs.Uint64("seed", conformance.DefaultSeed, "suite seed (every check derives sub-seeds from it)")
+	workers := fs.Int("workers", 0, "worker goroutines per replication loop (0 = GOMAXPROCS; results are identical for every setting)")
 	only := fs.String("only", "", "run only checks whose name or family contains this substring")
 	out := fs.String("out", "", "write the JSON report to this file")
 	if err := fs.Parse(args); err != nil {
@@ -42,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "conformance: -quick and -full are mutually exclusive")
 		return 2
 	}
-	cfg := conformance.Config{Full: *full, Seed: *seed}
+	cfg := conformance.Config{Full: *full, Seed: *seed, Workers: *workers}
 
 	checks := conformance.Suite()
 	if *only != "" {

@@ -40,6 +40,15 @@ func Suite() []Bench {
 		{"NewPlanParallel/n=12288", BenchNewPlanParallel},
 		{"PlanCacheCold/n=1024", BenchPlanCacheCold},
 		{"PlanCacheWarm/n=1024", BenchPlanCacheWarm},
+		{"DHPathReference/n=4096", BenchDHPathReference},
+		{"DHPathInto/n=4096", BenchDHPathInto},
+		{"DHPathRealInto/n=4096", BenchDHPathRealInto},
+		{"DHBatch/n=4096,b=8", BenchDHBatch},
+		{"FFTForwardReference/n=8192", BenchFFTForwardReference},
+		{"FFTForwardTabled/n=8192", BenchFFTForwardTabled},
+		{"FFTRealForward/n=8192", BenchFFTRealForward},
+		{"TransformApplyExact/n=4096", BenchTransformApplyExact},
+		{"TransformApplyLUT/n=4096", BenchTransformApplyLUT},
 	}
 }
 

@@ -103,7 +103,7 @@ func (c acfBackendCheck) Run(ctx context.Context, cfg Config) Result {
 	}
 	bands := bandParams{z: 3, slack: 0.01}
 	for _, b := range backends {
-		st, err := measureBackend(ctx, b, comp, nil, 0, n, reps, maxLag, cfg.Seed+10)
+		st, err := measureBackend(ctx, b, comp, nil, 0, n, reps, maxLag, cfg.Seed+10, cfg.Workers)
 		if err != nil {
 			return res.fail(err)
 		}
@@ -154,6 +154,7 @@ func (c acfCompensatedCheck) Run(ctx context.Context, cfg Config) Result {
 		Lags:         lags,
 		Replications: measureReps,
 		Seed:         cfg.Seed + 20,
+		Workers:      cfg.Workers,
 	})
 	if err != nil {
 		return res.fail(err)
@@ -168,7 +169,7 @@ func (c acfCompensatedCheck) Run(ctx context.Context, cfg Config) Result {
 		return res.fail(err)
 	}
 	gen := coreBackends()[0] // exact Hosking: isolates the transform path
-	st, err := measureBackend(ctx, gen, bg, &tr, target.Mean(), n, reps, maxLag, cfg.Seed+21)
+	st, err := measureBackend(ctx, gen, bg, &tr, target.Mean(), n, reps, maxLag, cfg.Seed+21, cfg.Workers)
 	if err != nil {
 		return res.fail(err)
 	}

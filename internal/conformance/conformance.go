@@ -27,8 +27,10 @@ import (
 	"vbrsim/internal/acf"
 	"vbrsim/internal/daviesharte"
 	"vbrsim/internal/dist"
+	"vbrsim/internal/fft"
 	"vbrsim/internal/hosking"
 	"vbrsim/internal/modelspec"
+	"vbrsim/internal/par"
 	"vbrsim/internal/rng"
 	"vbrsim/internal/stats"
 	"vbrsim/internal/transform"
@@ -41,6 +43,11 @@ type Config struct {
 	Full bool
 	// Seed drives every check (each derives sub-seeds at fixed offsets).
 	Seed uint64
+	// Workers caps the goroutines each check's replication loops fan
+	// across; <= 0 selects GOMAXPROCS. Every check is bit-identical for
+	// every setting: per-replication randomness is indexed by replication,
+	// never by worker, and reductions run in replication order.
+	Workers int
 }
 
 // DefaultSeed is the suite seed used by cmd/conformance and CI.
@@ -218,35 +225,101 @@ func truncatedFor(ctx context.Context, model acf.Model) (*hosking.Truncated, err
 // they differ in algorithm (and therefore in failure modes).
 type genBackend struct {
 	name string
+	// path allocates one path per call; it is the golden-pinned entry
+	// point (golden_test.go fingerprints it) and the fallback for injected
+	// test backends that only define it.
 	path func(ctx context.Context, model acf.Model, n int, seed uint64) ([]float64, error)
+	// prepare, when non-nil, builds the plan once and returns a generator
+	// measureBackend drives across replications. The generator must be
+	// safe for concurrent calls with distinct arenas.
+	prepare func(ctx context.Context, model acf.Model, n int) (pathGen, error)
+}
+
+// pathGen fills dst with the path derived from one replication seed, using
+// the caller-owned arena for scratch.
+type pathGen func(dst []float64, s *genArena, seed uint64) error
+
+// genArena is the per-worker scratch of measureBackend's replication loop:
+// a reseedable generator, backend path scratch, FFT scratch for the sample
+// autocovariance, and the path/foreground buffers.
+type genArena struct {
+	src  rng.Source
+	dh   daviesharte.Scratch
+	fft  fft.Scratch
+	x, y []float64
 }
 
 // coreBackends lists the generators that target the composite ACF exactly:
 // the exact Hosking sampler, its truncated-AR fast path (the serving
-// default), and the Davies-Harte circulant-embedding sampler.
+// default), and the Davies-Harte circulant-embedding sampler. The prepare
+// hooks reuse one plan for a whole measurement and generate through the
+// zero-allocation engines; the path closures keep the historical one-shot
+// layout the golden traces pin.
 func coreBackends() []genBackend {
 	return []genBackend{
-		{name: "hosking", path: func(ctx context.Context, model acf.Model, n int, seed uint64) ([]float64, error) {
-			plan, err := hosking.CachedPlanCtx(ctx, model, n)
-			if err != nil {
-				return nil, err
-			}
-			return plan.Path(rng.New(seed), n), nil
-		}},
-		{name: "hosking-fast", path: func(ctx context.Context, model acf.Model, n int, seed uint64) ([]float64, error) {
-			trunc, err := truncatedFor(ctx, model)
-			if err != nil {
-				return nil, err
-			}
-			return trunc.Path(rng.New(seed), n), nil
-		}},
-		{name: "daviesharte", path: func(ctx context.Context, model acf.Model, n int, seed uint64) ([]float64, error) {
-			plan, err := daviesharte.NewPlan(model, n, daviesharte.Options{AllowApprox: true})
-			if err != nil {
-				return nil, err
-			}
-			return plan.Path(rng.New(seed)), nil
-		}},
+		{
+			name: "hosking",
+			path: func(ctx context.Context, model acf.Model, n int, seed uint64) ([]float64, error) {
+				plan, err := hosking.CachedPlanCtx(ctx, model, n)
+				if err != nil {
+					return nil, err
+				}
+				return plan.Path(rng.New(seed), n), nil
+			},
+			prepare: func(ctx context.Context, model acf.Model, n int) (pathGen, error) {
+				plan, err := hosking.CachedPlanCtx(ctx, model, n)
+				if err != nil {
+					return nil, err
+				}
+				return func(dst []float64, s *genArena, seed uint64) error {
+					s.src.Reseed(seed)
+					plan.Generate(&s.src, dst)
+					return nil
+				}, nil
+			},
+		},
+		{
+			name: "hosking-fast",
+			path: func(ctx context.Context, model acf.Model, n int, seed uint64) ([]float64, error) {
+				trunc, err := truncatedFor(ctx, model)
+				if err != nil {
+					return nil, err
+				}
+				return trunc.Path(rng.New(seed), n), nil
+			},
+			prepare: func(ctx context.Context, model acf.Model, n int) (pathGen, error) {
+				trunc, err := truncatedFor(ctx, model)
+				if err != nil {
+					return nil, err
+				}
+				return func(dst []float64, s *genArena, seed uint64) error {
+					s.src.Reseed(seed)
+					trunc.Generate(&s.src, dst)
+					return nil
+				}, nil
+			},
+		},
+		{
+			name: "daviesharte",
+			path: func(ctx context.Context, model acf.Model, n int, seed uint64) ([]float64, error) {
+				plan, err := daviesharte.NewPlan(model, n, daviesharte.Options{AllowApprox: true})
+				if err != nil {
+					return nil, err
+				}
+				return plan.Path(rng.New(seed)), nil
+			},
+			prepare: func(_ context.Context, model acf.Model, n int) (pathGen, error) {
+				plan, err := daviesharte.NewPlan(model, n, daviesharte.Options{AllowApprox: true})
+				if err != nil {
+					return nil, err
+				}
+				return func(dst []float64, s *genArena, seed uint64) error {
+					s.src.Reseed(seed)
+					plan.PathRealInto(dst, &s.dh, &s.src)
+					return nil
+				}, nil
+			},
+		},
 	}
 }
 
@@ -276,35 +349,71 @@ type backendStats struct {
 // seed..seed+reps-1) and aggregates their sample statistics up to maxLag.
 // The transform, when non-nil, maps the background path to the foreground
 // before measuring (processMean then must be the foreground mean).
-func measureBackend(ctx context.Context, b genBackend, model acf.Model, tr *transform.T, processMean float64, n, reps, maxLag int, seed uint64) (backendStats, error) {
+//
+// Replications fan across a worker pool (see Config.Workers). The result
+// is bit-identical for every worker count: each replication's seed is its
+// replication index offset (never a worker index), per-replication curves
+// and moments are deposited into slabs by replication index, and the
+// across-replication sums run sequentially in replication order below.
+// Backends without a prepare hook (test-injected kernels) run their
+// allocating path closure on a single worker.
+func measureBackend(ctx context.Context, b genBackend, model acf.Model, tr *transform.T, processMean float64, n, reps, maxLag int, seed uint64, workers int) (backendStats, error) {
 	st := backendStats{
 		name:    b.name,
 		acfMean: make([]float64, maxLag+1),
 		acfSE:   make([]float64, maxLag+1),
 	}
-	acfSq := make([]float64, maxLag+1)
-	var meanSq, varSq float64
-	for r := 0; r < reps; r++ {
-		if err := ctx.Err(); err != nil {
-			return st, err
-		}
-		x, err := b.path(ctx, model, n, seed+uint64(r))
+	var gen pathGen
+	if b.prepare != nil {
+		g, err := b.prepare(ctx, model, n)
 		if err != nil {
 			return st, fmt.Errorf("%s: %w", b.name, err)
 		}
-		var curve []float64
+		gen = g
+	} else {
+		workers = 1
+		gen = func(dst []float64, _ *genArena, seed uint64) error {
+			x, err := b.path(ctx, model, n, seed)
+			if err != nil {
+				return err
+			}
+			copy(dst, x)
+			return nil
+		}
+	}
+	lagN := maxLag + 1
+	curves := make([]float64, reps*lagN)
+	moments := make([]float64, 2*reps)
+	w := par.Workers(workers, reps)
+	arenas := make([]genArena, w)
+	err := par.ForCtx(ctx, w, reps, func(wk, rep int) error {
+		ar := &arenas[wk]
+		if ar.x == nil {
+			ar.x = make([]float64, n)
+			if tr != nil {
+				ar.y = make([]float64, n)
+			}
+		}
+		if err := gen(ar.x, ar, seed+uint64(rep)); err != nil {
+			return fmt.Errorf("%s: %w", b.name, err)
+		}
+		curve := curves[rep*lagN : (rep+1)*lagN]
+		x := ar.x
 		if tr != nil {
-			x = tr.ApplySlice(x)
-			curve = stats.AutocorrelationKnownMean(x, processMean, maxLag)
+			x = tr.ApplyTo(ar.y, ar.x)
+			fft.AutocovarianceKnownMeanInto(curve, x, processMean, &ar.fft)
+			// Foreground curves are normalized sample autocorrelations (no
+			// known variance to pin the covariance scale).
+			if c0 := curve[0]; c0 != 0 {
+				for k := range curve {
+					curve[k] /= c0
+				}
+			}
 		} else {
-			curve = stats.AutocovarianceKnownMean(x, processMean, maxLag)
+			fft.AutocovarianceKnownMeanInto(curve, x, processMean, &ar.fft)
 			for k := range curve {
 				curve[k] *= float64(n) / float64(n-k)
 			}
-		}
-		for k := 0; k <= maxLag; k++ {
-			st.acfMean[k] += curve[k]
-			acfSq[k] += curve[k] * curve[k]
 		}
 		m, v := stats.MeanVar(x)
 		if tr == nil {
@@ -316,6 +425,22 @@ func measureBackend(ctx context.Context, b genBackend, model acf.Model, tr *tran
 			// disagreement.
 			v = curve[0]
 		}
+		moments[2*rep] = m
+		moments[2*rep+1] = v
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+	acfSq := make([]float64, lagN)
+	var meanSq, varSq float64
+	for rep := 0; rep < reps; rep++ {
+		curve := curves[rep*lagN : (rep+1)*lagN]
+		for k := 0; k <= maxLag; k++ {
+			st.acfMean[k] += curve[k]
+			acfSq[k] += curve[k] * curve[k]
+		}
+		m, v := moments[2*rep], moments[2*rep+1]
 		st.mean += m
 		st.variance += v
 		meanSq += m * m

@@ -199,3 +199,52 @@ func TestRunSuiteCancelledContext(t *testing.T) {
 		t.Fatal("no checks recorded as failed under a cancelled context")
 	}
 }
+
+// TestMeasureBackendWorkerInvariant is the suite-side half of the
+// worker-invariance contract: the replication-band statistics behind the
+// ACF and equivalence checks must be bit-identical for 1 and 8 workers
+// (seeds are replication-indexed, reductions run in replication order).
+func TestMeasureBackendWorkerInvariant(t *testing.T) {
+	comp, tr, target, err := paperModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, b := range coreBackends() {
+		one, err := measureBackend(ctx, b, comp, nil, 0, 1024, 12, 100, 77, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eight, err := measureBackend(ctx, b, comp, nil, 0, 1024, 12, 100, 77, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameStats(t, b.name, one, eight)
+	}
+	// Foreground path (transform applied before measuring) too.
+	b := coreBackends()[0]
+	one, err := measureBackend(ctx, b, comp, &tr, target.Mean(), 1024, 8, 100, 78, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := measureBackend(ctx, b, comp, &tr, target.Mean(), 1024, 8, 100, 78, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameStats(t, b.name+"-foreground", one, eight)
+}
+
+func requireSameStats(t *testing.T, name string, a, b backendStats) {
+	t.Helper()
+	same := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	if !same(a.mean, b.mean) || !same(a.variance, b.variance) ||
+		!same(a.meanSE, b.meanSE) || !same(a.varSE, b.varSE) {
+		t.Fatalf("%s: moments differ across worker counts: %+v vs %+v", name, a, b)
+	}
+	for k := range a.acfMean {
+		if !same(a.acfMean[k], b.acfMean[k]) || !same(a.acfSE[k], b.acfSE[k]) {
+			t.Fatalf("%s: ACF curve differs at lag %d: %v/%v vs %v/%v",
+				name, k, a.acfMean[k], a.acfSE[k], b.acfMean[k], b.acfSE[k])
+		}
+	}
+}

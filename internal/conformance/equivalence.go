@@ -63,7 +63,7 @@ func (c equivalenceCheck) Run(ctx context.Context, cfg Config) Result {
 	for i, b := range backends {
 		// Distinct seed blocks per backend: agreement must come from the
 		// law, not from shared draws.
-		st, err := measureBackend(ctx, b, comp, nil, 0, n, reps, maxLag, cfg.Seed+50+uint64(i)*1000)
+		st, err := measureBackend(ctx, b, comp, nil, 0, n, reps, maxLag, cfg.Seed+50+uint64(i)*1000, cfg.Workers)
 		if err != nil {
 			return res.fail(err)
 		}
@@ -171,11 +171,11 @@ func (c fastBoundCheck) Run(ctx context.Context, cfg Config) Result {
 	// Same seeds for both backends: the paths differ (different recursion
 	// past the truncation order) but the innovation streams match, which
 	// cancels most sampling noise out of the comparison.
-	exact, err := measureBackend(ctx, bks[0], comp, nil, 0, n, reps, maxLag, cfg.Seed+60)
+	exact, err := measureBackend(ctx, bks[0], comp, nil, 0, n, reps, maxLag, cfg.Seed+60, cfg.Workers)
 	if err != nil {
 		return res.fail(err)
 	}
-	fast, err := measureBackend(ctx, bks[1], comp, nil, 0, n, reps, maxLag, cfg.Seed+60)
+	fast, err := measureBackend(ctx, bks[1], comp, nil, 0, n, reps, maxLag, cfg.Seed+60, cfg.Workers)
 	if err != nil {
 		return res.fail(err)
 	}

@@ -53,9 +53,18 @@ func (c queueTailCheck) Run(ctx context.Context, cfg Config) Result {
 	}
 	buffer := queueBufNorm * meanRate
 
-	src := core.ArrivalSource{Fast: trunc, Transform: tr}
+	// The MC side runs the serving fast path as production would: truncated
+	// AR background plus the table-based transform (exercising the LUT's
+	// measured error bound under a statistical gate, against an IS side that
+	// evaluates the transform exactly).
+	lut, err := tr.NewDefaultLUT()
+	if err != nil {
+		return res.fail(err)
+	}
+	src := core.ArrivalSource{Fast: trunc, Transform: tr, LUT: lut}
 	mc, err := queue.EstimateOverflowCtx(ctx, src, service, buffer, horizon, queue.MCOptions{
 		Replications: mcReps,
+		Workers:      cfg.Workers,
 		Seed:         cfg.Seed + 40,
 	})
 	if err != nil {
@@ -69,6 +78,7 @@ func (c queueTailCheck) Run(ctx context.Context, cfg Config) Result {
 		Horizon:      horizon,
 		Twist:        queueTwist,
 		Replications: isReps,
+		Workers:      cfg.Workers,
 		Seed:         cfg.Seed + 41,
 	})
 	if err != nil {

@@ -462,6 +462,13 @@ type ArrivalSource struct {
 	Plan      *hosking.Plan
 	Transform transform.T
 	Fast      *hosking.Truncated
+	// LUT, when non-nil, evaluates the marginal transform through the
+	// precomputed table instead of the exact CDF/quantile composition. It
+	// must be built from the same Transform; arrivals then deviate from the
+	// exact path by at most the table's measured error bound (LUT.MaxError,
+	// ~1e-7 relative for the paper's marginal), in exchange for removing
+	// the transform from the per-step critical path.
+	LUT *transform.LUT
 }
 
 // ArrivalPath generates one replication's arrivals.
@@ -481,5 +488,9 @@ func (s ArrivalSource) ArrivalPathInto(r *rng.Source, buf []float64) {
 	} else {
 		s.Plan.Generate(r, buf)
 	}
-	s.Transform.ApplyTo(buf, buf)
+	if s.LUT != nil {
+		s.LUT.ApplyTo(buf, buf)
+	} else {
+		s.Transform.ApplyTo(buf, buf)
+	}
 }

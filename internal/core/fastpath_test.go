@@ -1,10 +1,15 @@
 package core
 
 import (
+	"math"
 	"testing"
 
+	"vbrsim/internal/acf"
+	"vbrsim/internal/dist"
+	"vbrsim/internal/hosking"
 	"vbrsim/internal/rng"
 	"vbrsim/internal/trace"
+	"vbrsim/internal/transform"
 )
 
 func TestArrivalPathIntoMatchesArrivalPath(t *testing.T) {
@@ -82,6 +87,31 @@ func TestGenerateBackendHoskingFast(t *testing.T) {
 	for _, v := range sizes {
 		if v < 0 {
 			t.Fatal("negative frame size")
+		}
+	}
+}
+
+// TestArrivalSourceLUT checks the table-based transform fast path: with the
+// same seed, a LUT-equipped source must reproduce the exact source's
+// arrivals within the table's measured error bound.
+func TestArrivalSourceLUT(t *testing.T) {
+	plan, err := hosking.NewPlan(acf.FGN{H: 0.9}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	htr := transform.New(dist.Lognormal{Mu: 9.6, Sigma: 0.4})
+	lut, err := htr.NewDefaultLUT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ArrivalSource{Plan: plan, Transform: htr}
+	tabled := ArrivalSource{Plan: plan, Transform: htr, LUT: lut}
+	a := exact.ArrivalPath(rng.New(21), 400)
+	b := tabled.ArrivalPath(rng.New(21), 400)
+	tol := lut.MaxError() * 1.01
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > tol {
+			t.Fatalf("slot %d: |exact-LUT| = %g exceeds bound %g", i, d, tol)
 		}
 	}
 }

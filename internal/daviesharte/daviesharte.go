@@ -19,6 +19,7 @@ import (
 
 	"vbrsim/internal/acf"
 	"vbrsim/internal/fft"
+	"vbrsim/internal/par"
 	"vbrsim/internal/rng"
 )
 
@@ -43,6 +44,7 @@ type Plan struct {
 	n            int       // requested path length
 	m            int       // circulant size (power of two, >= 2n)
 	sqrtLambda   []float64 // sqrt(eigenvalue / m), length m
+	scale        []float64 // sqrtLambda[k] / sqrt(2) for k = 1..m/2-1
 	negativeMass float64   // relative mass of clamped negative eigenvalues
 }
 
@@ -88,7 +90,16 @@ func NewPlan(model acf.Model, n int, opt Options) (*Plan, error) {
 	if rel > opt.Tolerance && !opt.AllowApprox {
 		return nil, fmt.Errorf("%w: relative negative eigenvalue mass %.3g", ErrNotEmbeddable, rel)
 	}
-	return &Plan{n: n, m: m, sqrtLambda: sqrtLambda, negativeMass: rel}, nil
+	// Precompute the interior-bin scale sqrtLambda[k]/sqrt(2). Multiplying a
+	// draw by the precomputed product is bit-identical to the historical
+	// sqrtLambda[k] * invSqrt2 * draw (same left-to-right association), so
+	// PathInto stays on the golden traces.
+	invSqrt2 := 1 / math.Sqrt2
+	scale := make([]float64, m/2)
+	for k := 1; k < m/2; k++ {
+		scale[k] = sqrtLambda[k] * invSqrt2
+	}
+	return &Plan{n: n, m: m, sqrtLambda: sqrtLambda, scale: scale, negativeMass: rel}, nil
 }
 
 // Len returns the path length the plan produces.
@@ -98,9 +109,147 @@ func (p *Plan) Len() int { return p.n }
 // clamped to zero; 0 means the synthesis is exact.
 func (p *Plan) NegativeMass() float64 { return p.negativeMass }
 
+// Scratch holds the reusable work buffers for PathInto and PathRealInto. The
+// zero value is ready to use; buffers grow on demand and are retained, so a
+// Scratch reused with one plan performs no steady-state allocations. A
+// Scratch also embeds the per-worker generator Batch reseeds for each path.
+// A Scratch must not be shared between concurrent calls.
+type Scratch struct {
+	a   []complex128
+	z   []complex128
+	src rng.Source
+}
+
+// grow sizes the buffers for a plan with circulant size m: a serves both the
+// full spectrum (PathInto, length m) and the half-spectrum (PathRealInto,
+// length m/2+1); z is the half-length synthesis scratch.
+func (s *Scratch) grow(m int) {
+	if cap(s.a) < m {
+		s.a = make([]complex128, m)
+	}
+	if cap(s.z) < m/2 {
+		s.z = make([]complex128, m/2)
+	}
+}
+
+// fillSpectrum draws the Hermitian-symmetric Gaussian half-spectrum into
+// a[0..m/2] using exactly the historical draw order of Path: the zero bin,
+// the Nyquist bin, then (re, im) pairs for k = 1..m/2-1.
+func (p *Plan) fillSpectrum(a []complex128, r *rng.Source) {
+	h := p.m / 2
+	a[0] = complex(p.sqrtLambda[0]*r.Norm(), 0)
+	a[h] = complex(p.sqrtLambda[h]*r.Norm(), 0)
+	for k := 1; k < h; k++ {
+		re := p.scale[k] * r.Norm()
+		im := p.scale[k] * r.Norm()
+		a[k] = complex(re, im)
+	}
+}
+
+// PathInto fills dst[0:n] with one sample path, bit-identical to Path (same
+// draw order, same floating-point schedule) but without per-call allocations:
+// all work happens in s, which is allocated on first use and reused after.
+// A nil s allocates a temporary scratch. len(dst) must be at least n.
+func (p *Plan) PathInto(dst []float64, s *Scratch, r *rng.Source) {
+	if s == nil {
+		s = &Scratch{}
+	}
+	s.grow(p.m)
+	m := p.m
+	a := s.a[:m]
+	p.fillSpectrum(a, r)
+	for k := 1; k < m/2; k++ {
+		v := a[k]
+		a[m-k] = complex(real(v), -imag(v))
+	}
+	if err := fft.Forward(a); err != nil {
+		panic("daviesharte: internal FFT error: " + err.Error())
+	}
+	out := dst[:p.n]
+	for i := range out {
+		out[i] = real(a[i])
+	}
+}
+
+// PathRealInto is PathInto computed through the packed real-input FFT: the
+// Hermitian half-spectrum is synthesized with one complex transform of length
+// m/2 instead of m, roughly halving the FFT work. The normal draws and their
+// order are identical to Path; only the transform's rounding differs, so
+// results agree with Path to floating-point accuracy (~1e-10 absolute for the
+// path lengths used here) but are not bit-identical. Golden-pinned callers
+// use PathInto; replication loops use this.
+func (p *Plan) PathRealInto(dst []float64, s *Scratch, r *rng.Source) {
+	if s == nil {
+		s = &Scratch{}
+	}
+	s.grow(p.m)
+	h := p.m / 2
+	a := s.a[:h+1]
+	p.fillSpectrum(a, r)
+	if err := fft.HermitianReal(dst[:p.n], a, s.z[:h]); err != nil {
+		panic("daviesharte: internal FFT error: " + err.Error())
+	}
+}
+
 // Path generates one sample path of length n (zero mean, unit variance,
-// target autocorrelation).
+// target autocorrelation). It is PathInto plus the output allocation; callers
+// on a hot loop should hold a Scratch and call PathInto directly.
 func (p *Plan) Path(r *rng.Source) []float64 {
+	out := make([]float64, p.n)
+	p.PathInto(out, nil, r)
+	return out
+}
+
+// Batch fills dst[i] with the path generated from seed seeds[i], for every i,
+// fanning the work across len(scratch) workers (one arena each; nil entries
+// are allocated on first use). Each path is produced by PathRealInto with a
+// generator reseeded to rng.New(seeds[i]), so path i depends only on seeds[i]
+// and the output is bit-identical for any worker count. With a single scratch
+// the batch runs inline on the calling goroutine and performs no steady-state
+// allocations.
+func (p *Plan) Batch(dst [][]float64, seeds []uint64, scratch []*Scratch) error {
+	if len(dst) != len(seeds) {
+		return fmt.Errorf("daviesharte: Batch got %d destinations and %d seeds", len(dst), len(seeds))
+	}
+	if len(scratch) == 0 {
+		return errors.New("daviesharte: Batch needs at least one scratch arena")
+	}
+	for _, d := range dst {
+		if len(d) < p.n {
+			return fmt.Errorf("daviesharte: Batch destination shorter than path length %d", p.n)
+		}
+	}
+	if len(scratch) == 1 {
+		// Inline single-worker loop: no goroutines and no closure, so a
+		// reused scratch arena makes the whole batch allocation-free.
+		s := scratch[0]
+		if s == nil {
+			s = &Scratch{}
+			scratch[0] = s
+		}
+		for i := range dst {
+			s.src.Reseed(seeds[i])
+			p.PathRealInto(dst[i], s, &s.src)
+		}
+		return nil
+	}
+	par.For(len(scratch), len(dst), func(worker, i int) {
+		s := scratch[worker]
+		if s == nil {
+			s = &Scratch{}
+			scratch[worker] = s
+		}
+		s.src.Reseed(seeds[i])
+		p.PathRealInto(dst[i], s, &s.src)
+	})
+	return nil
+}
+
+// PathReference is the seed implementation of Path — per-call allocations and
+// the on-the-fly-twiddle reference FFT. It is retained as the ablation
+// baseline for the bench suite and as an independent oracle for PathInto's
+// bit-identity test.
+func (p *Plan) PathReference(r *rng.Source) []float64 {
 	m := p.m
 	a := make([]complex128, m)
 	// Hermitian-symmetric Gaussian spectrum.
@@ -113,7 +262,7 @@ func (p *Plan) Path(r *rng.Source) []float64 {
 		a[k] = complex(re, im)
 		a[m-k] = complex(re, -im)
 	}
-	if err := fft.Forward(a); err != nil {
+	if err := fft.ForwardReference(a); err != nil {
 		panic("daviesharte: internal FFT error: " + err.Error())
 	}
 	out := make([]float64, p.n)

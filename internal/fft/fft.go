@@ -27,24 +27,40 @@ func NextPowerOfTwo(n int) int {
 }
 
 // Forward computes the in-place forward DFT of x. len(x) must be a power of
-// two. The transform is unnormalized: Inverse(Forward(x)) == x.
-func Forward(x []complex128) error { return transform(x, false) }
+// two. The transform is unnormalized: Inverse(Forward(x)) == x. Twiddle
+// factors and the bit-reversal permutation come from a process-wide per-size
+// cache (see tables), and the result is bit-identical to ForwardReference.
+func Forward(x []complex128) error {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		return ErrNotPowerOfTwo
+	}
+	t := tablesFor(n)
+	t.apply(x, t.fwd)
+	return nil
+}
 
 // Inverse computes the in-place inverse DFT of x, including the 1/n
-// normalization. len(x) must be a power of two.
+// normalization. len(x) must be a power of two. Like Forward it runs off the
+// cached tables and is bit-identical to InverseReference.
 func Inverse(x []complex128) error {
-	if err := transform(x, true); err != nil {
-		return err
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		return ErrNotPowerOfTwo
 	}
-	n := complex(float64(len(x)), 0)
+	t := tablesFor(n)
+	t.apply(x, t.inv)
+	d := complex(float64(n), 0)
 	for i := range x {
-		x[i] /= n
+		x[i] /= d
 	}
 	return nil
 }
 
-// transform performs the radix-2 Cooley–Tukey FFT in place.
-func transform(x []complex128, inverse bool) error {
+// referenceTransform performs the radix-2 Cooley–Tukey FFT in place with
+// on-the-fly twiddles — the seed implementation, kept as the oracle for the
+// tabled path.
+func referenceTransform(x []complex128, inverse bool) error {
 	n := len(x)
 	if !IsPowerOfTwo(n) {
 		return ErrNotPowerOfTwo

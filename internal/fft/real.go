@@ -1,0 +1,285 @@
+package fft
+
+import (
+	"errors"
+)
+
+// ErrBadLength is returned by the real-transform helpers when a buffer does
+// not satisfy the documented length contract.
+var ErrBadLength = errors.New("fft: buffer length does not match transform size")
+
+// Scratch holds reusable buffers for the zero-allocation real-FFT helpers.
+// The zero value is ready to use; buffers grow on demand and are retained
+// across calls, so a Scratch reused at a steady size performs no allocations.
+// A Scratch must not be shared between concurrent calls.
+type Scratch struct {
+	a []complex128
+	z []complex128
+}
+
+// buffers returns the two work arrays sized for half-length h: a of length
+// h+1 (half-spectrum) and z of length h (packed samples).
+func (s *Scratch) buffers(h int) (a, z []complex128) {
+	if cap(s.a) < h+1 {
+		s.a = make([]complex128, h+1)
+	}
+	if cap(s.z) < h {
+		s.z = make([]complex128, h)
+	}
+	return s.a[:h+1], s.z[:h]
+}
+
+// RealForward computes the half-spectrum forward DFT of the real sequence x:
+// a[k] for k = 0..h with h = len(x)/2 receives the same values Forward would
+// produce in positions 0..h (the remaining positions follow by Hermitian
+// symmetry and are not stored). len(x) must be a power of two and len(a) at
+// least h+1. The transform packs adjacent sample pairs into one complex FFT
+// of half the length, roughly halving the work of the complex path.
+func RealForward(a []complex128, x []float64) error {
+	m := len(x)
+	if !IsPowerOfTwo(m) {
+		return ErrNotPowerOfTwo
+	}
+	h := m / 2
+	if len(a) < h+1 {
+		return ErrBadLength
+	}
+	if m == 1 {
+		a[0] = complex(x[0], 0)
+		return nil
+	}
+	for j := 0; j < h; j++ {
+		a[j] = complex(x[2*j], x[2*j+1])
+	}
+	t := tablesFor(h)
+	t.apply(a[:h], t.fwd)
+	realUnpack(a[:h+1], t)
+	return nil
+}
+
+// realUnpack converts the packed half-length spectrum Z (in a[:h]) into the
+// half-spectrum A (in a[:h+1]) of the underlying real sequence, in place:
+//
+//	A[k] = (Z[k]+conj(Z[h-k]))/2 - (i/2)·ω^k·(Z[k]-conj(Z[h-k])), ω = e^{-2πi/m}
+//
+// using f[h-k] = conj(f[k]) for the mirror factor, so only the table of
+// f[k] = conj(rot[k]) for k ≤ h/2 is needed.
+func realUnpack(a []complex128, t *tables) {
+	h := len(a) - 1
+	rot := t.rotation()
+	z0 := a[0]
+	a[0] = complex(real(z0)+imag(z0), 0)
+	a[h] = complex(real(z0)-imag(z0), 0)
+	for k := 1; k < h-k; k++ {
+		zk, zm := a[k], a[h-k]
+		czm := complex(real(zm), -imag(zm))
+		czk := complex(real(zk), -imag(zk))
+		f := complex(real(rot[k]), -imag(rot[k])) // conj(rot[k]) = -(i/2)ω^k
+		a[k] = (zk+czm)*complex(0.5, 0) + f*(zk-czm)
+		a[h-k] = (zm+czk)*complex(0.5, 0) + rot[k]*(zm-czk)
+	}
+	if h >= 2 {
+		mid := a[h/2]
+		a[h/2] = complex(real(mid), -imag(mid))
+	}
+}
+
+// HermitianReal synthesizes a real sequence from its Hermitian half-spectrum:
+// with m = 2(len(a)-1), it writes
+//
+//	out[p] = Σ_{k=0}^{m-1} Ā[k]·e^{-2πipk/m},  p = 0..len(out)-1
+//
+// where Ā is the Hermitian extension of a (Ā[m-k] = conj(a[k])). This is the
+// synthesis Davies–Harte needs: the real part of the full forward DFT of a
+// Hermitian spectrum, computed with one complex FFT of length m/2 instead of
+// length m. The imaginary parts of a[0] and a[len(a)-1] are ignored (they
+// must be zero for a Hermitian spectrum). a is left unmodified; z is scratch
+// of length at least len(a)-1; len(out) must not exceed m. len(a)-1 must be a
+// power of two.
+func HermitianReal(out []float64, a, z []complex128) error {
+	h := len(a) - 1
+	if !IsPowerOfTwo(h) {
+		return ErrNotPowerOfTwo
+	}
+	if len(z) < h || len(out) > 2*h {
+		return ErrBadLength
+	}
+	hermitianReal(out, a, z[:h], tablesFor(h))
+	return nil
+}
+
+// hermitianReal is the table-threaded core of HermitianReal. The half-length
+// inverse-kernel FFT is inlined rather than delegated to tables.apply so the
+// bit-reversal scatter fuses into the pair-rotation pass (one write instead
+// of a build pass plus a permutation pass). This path is not bit-pinned, so
+// it also takes the liberties the golden-traced complex path cannot: the
+// pair rotation runs on hand-expanded real arithmetic (4 multiplies per pair
+// instead of 4 complex products), the length-4 stage uses the exact ±i
+// twiddles, and later stages run as fused radix-2² double stages that touch
+// each element once per two stages.
+func hermitianReal(out []float64, a, z []complex128, t *tables) {
+	h := len(a) - 1
+	rot := t.rotation()
+	rev := t.rev
+	// Pair rotation, reading the conjugated doubled spectrum W[k] =
+	// 2·conj(a[k]) on the fly and scattering Z to bit-reversed positions:
+	//   Z[k]   = (W[k]+conj(W[h-k]))/2 + rot[k]·(W[k]-conj(W[h-k]))
+	//   Z[h-k] = (W[h-k]+conj(W[k]))/2 + conj(rot[k])·(W[h-k]-conj(W[k]))
+	// With a[k] = (p,q), a[h-k] = (s,u), rot[k] = (rr,ri), and the shared
+	// terms A = rr·(p-s), B = ri·(q+u), C = ri·(p-s), D = rr·(q+u),
+	// expanding the complex algebra gives
+	//   Z[k]   = (p+s + 2(A+B),  (u-q) + 2(C-D))
+	//   Z[h-k] = (p+s - 2(A+B),  (q-u) + 2(C-D))
+	// — four real multiplies per pair instead of four complex products.
+	a0, ah := real(a[0]), real(a[h])
+	z[0] = complex(a0+ah, a0-ah)
+	for k := 1; k < h-k; k++ {
+		p, q := real(a[k]), imag(a[k])
+		s, u := real(a[h-k]), imag(a[h-k])
+		rr, ri := real(rot[k]), imag(rot[k])
+		dp := p - s // Re difference
+		sq := q + u // Im sum
+		A := rr * dp
+		B := ri * sq
+		C := ri * dp
+		D := rr * sq
+		ps := p + s
+		z[rev[k]] = complex(ps+2*(A+B), (u-q)+2*(C-D))
+		z[rev[h-k]] = complex(ps-2*(A+B), (q-u)+2*(C-D))
+	}
+	if h >= 2 {
+		// Self-paired midpoint: rot[h/2] is exactly -1/2, which reduces the
+		// rotation to Z[h/2] = 2·a[h/2].
+		z[rev[h/2]] = complex(2*real(a[h/2]), 2*imag(a[h/2]))
+	}
+	// Inverse-kernel FFT of length h over the pre-scattered z (unnormalized;
+	// the synthesis constants are folded into W). Length-2 and length-4
+	// stages use their exact twiddles (1 and ±i) fused into one pass.
+	if h >= 4 {
+		for s := 0; s < h; s += 4 {
+			b0, b1, b2, b3 := z[s], z[s+1], z[s+2], z[s+3]
+			t0, t1 := b0+b1, b0-b1
+			t2, t3 := b2+b3, b2-b3
+			it3 := complex(-imag(t3), real(t3)) // t3 *= +i (inverse kernel)
+			z[s], z[s+2] = t0+t2, t0-t2
+			z[s+1], z[s+3] = t1+it3, t1-it3
+		}
+	} else if h >= 2 {
+		for s := 0; s < h; s += 2 {
+			u, v := z[s], z[s+1]
+			z[s], z[s+1] = u+v, u-v
+		}
+	}
+	// Remaining stages, fused in radix-2² pairs: stage q and stage 2q are
+	// combined using w_{4q}^{q+k} = i·w_{4q}^k, so each element is loaded and
+	// stored once per two stages. When the stage count is odd, one plain
+	// radix-2 stage at q=4 restores parity.
+	tw := t.inv
+	q := 4
+	if stages := log2(h) - 2; stages > 0 && stages%2 == 1 {
+		stage := tw[q-1 : 2*q-1]
+		for start := 0; start < h; start += 2 * q {
+			xa := z[start : start+q : start+q]
+			xb := z[start+q : start+2*q : start+2*q]
+			for k, w := range stage {
+				u := xa[k]
+				v := xb[k] * w
+				xa[k] = u + v
+				xb[k] = u - v
+			}
+		}
+		q <<= 1
+	}
+	for ; 4*q <= h; q <<= 2 {
+		u := tw[q-1 : 2*q-1]   // stage q twiddles (length-2q kernel)
+		w := tw[2*q-1 : 3*q-1] // stage 2q twiddles, first q entries
+		for start := 0; start < h; start += 4 * q {
+			x0 := z[start : start+q : start+q]
+			x1 := z[start+q : start+2*q : start+2*q]
+			x2 := z[start+2*q : start+3*q : start+3*q]
+			x3 := z[start+3*q : start+4*q : start+4*q]
+			for k := 0; k < q; k++ {
+				uk := u[k]
+				b1 := x1[k] * uk
+				b3 := x3[k] * uk
+				t0, t1 := x0[k]+b1, x0[k]-b1
+				t2, t3 := x2[k]+b3, x2[k]-b3
+				wk := w[k]
+				v2 := t2 * wk
+				v3 := t3 * wk
+				iv3 := complex(-imag(v3), real(v3)) // w^{q+k} = i·w^k
+				x0[k] = t0 + v2
+				x2[k] = t0 - v2
+				x1[k] = t1 + iv3
+				x3[k] = t1 - iv3
+			}
+		}
+	}
+	// Unpack: out[2j] = Re z[j], out[2j+1] = Im z[j].
+	n := len(out)
+	for j := 0; 2*j < n; j++ {
+		v := z[j]
+		out[2*j] = real(v)
+		if 2*j+1 < n {
+			out[2*j+1] = imag(v)
+		}
+	}
+}
+
+// log2 returns floor(log2(n)) for n >= 1.
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// AutocovarianceKnownMeanInto is the zero-allocation counterpart of
+// AutocovarianceKnownMean: it computes the biased autocovariance of x at lags
+// 0..len(dst)-1 (clamped to len(x)-1) into dst, using the packed real-input
+// FFT pipeline (two half-length transforms instead of two full complex ones)
+// and the scratch buffers in s. It returns the filled prefix of dst. Results
+// agree with AutocovarianceKnownMean to floating-point rounding, not
+// bit-exactly — callers that pin bits must keep using the complex path.
+func AutocovarianceKnownMeanInto(dst []float64, x []float64, mean float64, s *Scratch) []float64 {
+	n := len(x)
+	if n == 0 || len(dst) == 0 {
+		return nil
+	}
+	maxLag := len(dst) - 1
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	m := NextPowerOfTwo(2 * n)
+	h := m / 2
+	a, z := s.buffers(h)
+	j := 0
+	for ; 2*j+1 < n; j++ {
+		a[j] = complex(x[2*j]-mean, x[2*j+1]-mean)
+	}
+	if 2*j < n {
+		a[j] = complex(x[2*j]-mean, 0)
+		j++
+	}
+	for ; j < h; j++ {
+		a[j] = 0
+	}
+	t := tablesFor(h)
+	t.apply(a[:h], t.fwd)
+	realUnpack(a, t)
+	for k := 0; k <= h; k++ {
+		re, im := real(a[k]), imag(a[k])
+		a[k] = complex(re*re+im*im, 0)
+	}
+	out := dst[:maxLag+1]
+	hermitianReal(out, a, z, t)
+	// hermitianReal is unnormalized (a factor of m versus the inverse DFT);
+	// fold that and the biased-estimator 1/n into one scale.
+	inv := 1 / (float64(m) * float64(n))
+	for k := range out {
+		out[k] *= inv
+	}
+	return out
+}

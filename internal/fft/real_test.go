@@ -1,0 +1,170 @@
+package fft
+
+import (
+	"math"
+	"testing"
+
+	"vbrsim/internal/rng"
+)
+
+// TestRealForwardParity checks the packed real-input FFT against the complex
+// Forward on random inputs across every power-of-two size from 2 to 2^16.
+func TestRealForwardParity(t *testing.T) {
+	r := rng.New(101)
+	for m := 2; m <= 1<<16; m <<= 1 {
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = r.Norm()
+		}
+		want := make([]complex128, m)
+		for i, v := range x {
+			want[i] = complex(v, 0)
+		}
+		if err := Forward(want); err != nil {
+			t.Fatal(err)
+		}
+		h := m / 2
+		a := make([]complex128, h+1)
+		if err := RealForward(a, x); err != nil {
+			t.Fatal(err)
+		}
+		// Scale-aware tolerance: spectrum entries are O(sqrt(m)).
+		tol := 1e-12 * math.Sqrt(float64(m)) * 10
+		for k := 0; k <= h; k++ {
+			if d := cAbs(a[k] - want[k]); d > tol {
+				t.Fatalf("m=%d: RealForward[%d] = %v, Forward = %v (|diff| %g > %g)", m, k, a[k], want[k], d, tol)
+			}
+		}
+	}
+}
+
+func cAbs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
+
+// TestHermitianRealParity feeds random Hermitian half-spectra through
+// HermitianReal and compares with the full complex Forward of the Hermitian
+// extension.
+func TestHermitianRealParity(t *testing.T) {
+	r := rng.New(55)
+	for h := 1; h <= 1<<12; h <<= 1 {
+		m := 2 * h
+		a := make([]complex128, h+1)
+		a[0] = complex(r.Norm(), 0)
+		a[h] = complex(r.Norm(), 0)
+		for k := 1; k < h; k++ {
+			a[k] = complex(r.Norm(), r.Norm())
+		}
+		full := make([]complex128, m)
+		copy(full, a)
+		for k := 1; k < h; k++ {
+			full[m-k] = complex(real(a[k]), -imag(a[k]))
+		}
+		if err := Forward(full); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, m)
+		z := make([]complex128, h)
+		if err := HermitianReal(out, a, z); err != nil {
+			t.Fatal(err)
+		}
+		tol := 1e-12 * float64(m) * 10
+		for p := 0; p < m; p++ {
+			if d := math.Abs(out[p] - real(full[p])); d > tol {
+				t.Fatalf("h=%d: HermitianReal[%d] = %v, Forward = %v (diff %g)", h, p, out[p], real(full[p]), d)
+			}
+			if im := math.Abs(imag(full[p])); im > tol {
+				t.Fatalf("h=%d: Hermitian spectrum gave non-real output at %d: %v", h, p, full[p])
+			}
+		}
+		// A truncated output prefix matches the full synthesis.
+		short := make([]float64, m/2+1)
+		if err := HermitianReal(short, a, z); err != nil {
+			t.Fatal(err)
+		}
+		for p := range short {
+			if short[p] != out[p] {
+				t.Fatalf("h=%d: truncated synthesis diverges at %d", h, p)
+			}
+		}
+	}
+}
+
+func TestRealForwardErrors(t *testing.T) {
+	if err := RealForward(make([]complex128, 4), make([]float64, 6)); err != ErrNotPowerOfTwo {
+		t.Fatalf("non-power-of-two length: got %v", err)
+	}
+	if err := RealForward(make([]complex128, 2), make([]float64, 8)); err != ErrBadLength {
+		t.Fatalf("short spectrum buffer: got %v", err)
+	}
+	if err := HermitianReal(make([]float64, 4), make([]complex128, 4), make([]complex128, 3)); err != ErrNotPowerOfTwo {
+		t.Fatalf("non-power-of-two half length: got %v", err)
+	}
+	if err := HermitianReal(make([]float64, 4), make([]complex128, 3), make([]complex128, 1)); err != ErrBadLength {
+		t.Fatalf("short scratch: got %v", err)
+	}
+	if err := HermitianReal(make([]float64, 9), make([]complex128, 5), make([]complex128, 4)); err != ErrBadLength {
+		t.Fatalf("oversized output: got %v", err)
+	}
+}
+
+// TestAutocovarianceIntoMatches compares the real-FFT autocovariance against
+// the complex-path original, including odd lengths and clamped lags.
+func TestAutocovarianceIntoMatches(t *testing.T) {
+	r := rng.New(17)
+	var s Scratch
+	for _, n := range []int{1, 2, 3, 7, 64, 100, 1023, 4096} {
+		x := make([]float64, n)
+		mean := 0.0
+		for i := range x {
+			x[i] = r.Norm() + 0.3
+			mean += x[i]
+		}
+		mean /= float64(n)
+		for _, maxLag := range []int{0, 1, n / 2, n - 1, n + 5} {
+			want := AutocovarianceKnownMean(x, mean, maxLag)
+			dst := make([]float64, maxLag+1)
+			got := AutocovarianceKnownMeanInto(dst, x, mean, &s)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d maxLag=%d: len %d, want %d", n, maxLag, len(got), len(want))
+			}
+			for k := range got {
+				if d := math.Abs(got[k] - want[k]); d > 1e-10*(1+math.Abs(want[k])) {
+					t.Fatalf("n=%d lag=%d: got %v want %v", n, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestRealPathZeroAlloc locks in the zero-steady-state-allocation contract of
+// the scratch-based real-FFT helpers.
+func TestRealPathZeroAlloc(t *testing.T) {
+	r := rng.New(23)
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	var s Scratch
+	dst := make([]float64, 201)
+	AutocovarianceKnownMeanInto(dst, x, 0, &s) // warm scratch + tables
+	allocs := testing.AllocsPerRun(20, func() {
+		AutocovarianceKnownMeanInto(dst, x, 0, &s)
+	})
+	if allocs != 0 {
+		t.Fatalf("AutocovarianceKnownMeanInto allocates %v/op at steady state, want 0", allocs)
+	}
+
+	a := make([]complex128, len(x)/2+1)
+	if err := RealForward(a, x); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		if err := RealForward(a, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RealForward allocates %v/op at steady state, want 0", allocs)
+	}
+}

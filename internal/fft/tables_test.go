@@ -1,0 +1,109 @@
+package fft
+
+import (
+	"math"
+	"testing"
+
+	"vbrsim/internal/rng"
+)
+
+func randComplex(r *rng.Source, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.Norm(), r.Norm())
+	}
+	return x
+}
+
+// TestForwardMatchesReference pins the tabled transforms to the reference
+// implementation bit-for-bit: the golden traces in internal/conformance go
+// through Forward, so the twiddle cache must not change a single ulp.
+func TestForwardMatchesReference(t *testing.T) {
+	r := rng.New(7)
+	for n := 1; n <= 1<<13; n <<= 1 {
+		x := randComplex(r, n)
+		want := append([]complex128(nil), x...)
+		if err := ForwardReference(want); err != nil {
+			t.Fatal(err)
+		}
+		got := append([]complex128(nil), x...)
+		if err := Forward(got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if math.Float64bits(real(got[i])) != math.Float64bits(real(want[i])) ||
+				math.Float64bits(imag(got[i])) != math.Float64bits(imag(want[i])) {
+				t.Fatalf("n=%d: Forward[%d] = %v, reference = %v (not bit-identical)", n, i, got[i], want[i])
+			}
+		}
+		inv := append([]complex128(nil), x...)
+		wantInv := append([]complex128(nil), x...)
+		if err := Inverse(inv); err != nil {
+			t.Fatal(err)
+		}
+		if err := InverseReference(wantInv); err != nil {
+			t.Fatal(err)
+		}
+		for i := range inv {
+			if math.Float64bits(real(inv[i])) != math.Float64bits(real(wantInv[i])) ||
+				math.Float64bits(imag(inv[i])) != math.Float64bits(imag(wantInv[i])) {
+				t.Fatalf("n=%d: Inverse[%d] = %v, reference = %v (not bit-identical)", n, i, inv[i], wantInv[i])
+			}
+		}
+	}
+}
+
+func TestForwardRejectsNonPowerOfTwo(t *testing.T) {
+	x := make([]complex128, 3)
+	if err := Forward(x); err != ErrNotPowerOfTwo {
+		t.Fatalf("Forward(len 3) = %v, want ErrNotPowerOfTwo", err)
+	}
+	if err := Inverse(x); err != ErrNotPowerOfTwo {
+		t.Fatalf("Inverse(len 3) = %v, want ErrNotPowerOfTwo", err)
+	}
+}
+
+// TestTableCacheEviction fills the cache past its cap and checks transforms
+// still work (rebuilt tables are identical by construction).
+func TestTableCacheEviction(t *testing.T) {
+	r := rng.New(11)
+	x := randComplex(r, 8)
+	want := append([]complex128(nil), x...)
+	if err := ForwardReference(want); err != nil {
+		t.Fatal(err)
+	}
+	// Touch more sizes than the cap to force evictions.
+	for n := 1; n <= 1<<(tableCacheCap+2) && n <= 1<<20; n <<= 1 {
+		tablesFor(n)
+	}
+	got := append([]complex128(nil), x...)
+	if err := Forward(got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("after eviction churn, Forward[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestForwardZeroAlloc verifies the steady-state transform performs no
+// allocations once its tables are cached.
+func TestForwardZeroAlloc(t *testing.T) {
+	x := make([]complex128, 1024)
+	r := rng.New(3)
+	for i := range x {
+		x[i] = complex(r.Norm(), r.Norm())
+	}
+	if err := Forward(x); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := Forward(x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Forward allocates %v objects per call at steady state, want 0", allocs)
+	}
+}

@@ -27,10 +27,9 @@ import (
 	"context"
 	"errors"
 	"math"
-	"runtime"
-	"sync"
 
 	"vbrsim/internal/hosking"
+	"vbrsim/internal/par"
 	"vbrsim/internal/queue"
 	"vbrsim/internal/rng"
 	"vbrsim/internal/transform"
@@ -149,13 +148,7 @@ func EstimateCtx(ctx context.Context, cfg Config) (queue.Result, error) {
 	if reps <= 0 {
 		reps = 1000
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > reps {
-		workers = reps
-	}
+	workers := par.Workers(cfg.Workers, reps)
 	root := rng.New(cfg.Seed)
 	sources := make([]*rng.Source, reps)
 	for i := range sources {
@@ -166,30 +159,14 @@ func EstimateCtx(ctx context.Context, cfg Config) (queue.Result, error) {
 	// order, so the estimate is bit-identical regardless of worker count.
 	weights := make([]float64, reps)
 	hitFlags := make([]bool, reps)
-	var wg sync.WaitGroup
-	chunk := (reps + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > reps {
-			hi = reps
+	bufs := make([][]float64, workers)
+	if err := par.ForCtx(ctx, workers, reps, func(w, i int) error {
+		if bufs[w] == nil {
+			bufs[w] = make([]float64, cfg.Horizon)
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			buf := make([]float64, cfg.Horizon)
-			for i := lo; i < hi; i++ {
-				if ctx.Err() != nil {
-					return
-				}
-				weights[i], hitFlags[i] = replicate(&cfg, sources[i], buf)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+		weights[i], hitFlags[i] = replicate(&cfg, sources[i], bufs[w])
+		return nil
+	}); err != nil {
 		return queue.Result{}, err
 	}
 	var sum, sumSq float64
@@ -315,13 +292,7 @@ func EstimateTransientCtx(ctx context.Context, cfg Config, checkpoints []int) ([
 	if reps <= 0 {
 		reps = 1000
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > reps {
-		workers = reps
-	}
+	workers := par.Workers(cfg.Workers, reps)
 	root := rng.New(cfg.Seed)
 	sources := make([]*rng.Source, reps)
 	for i := range sources {
@@ -331,30 +302,14 @@ func EstimateTransientCtx(ctx context.Context, cfg Config, checkpoints []int) ([
 	nc := len(checkpoints)
 	// weights[i*nc+j] is replication i's weighted indicator at checkpoint j.
 	weights := make([]float64, reps*nc)
-	var wg sync.WaitGroup
-	chunk := (reps + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > reps {
-			hi = reps
+	bufs := make([][]float64, workers)
+	if err := par.ForCtx(ctx, workers, reps, func(w, i int) error {
+		if bufs[w] == nil {
+			bufs[w] = make([]float64, horizon)
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			buf := make([]float64, horizon)
-			for i := lo; i < hi; i++ {
-				if ctx.Err() != nil {
-					return
-				}
-				transientReplicate(&cfg, sources[i], buf, checkpoints, weights[i*nc:(i+1)*nc])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+		transientReplicate(&cfg, sources[i], bufs[w], checkpoints, weights[i*nc:(i+1)*nc])
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 

@@ -1,0 +1,143 @@
+// Package par provides the small deterministic fan-out helpers shared by
+// every replication loop in the library (queue Monte Carlo, importance
+// sampling, attenuation measurement, conformance replication bands).
+//
+// The helpers deliberately do NOT hide how work maps to results: callers
+// index per-job state (seeds, output slots) by the job index i, never by the
+// worker index, so results are bit-identical for any worker count. Workers
+// exist only to overlap CPU time; they own scratch arenas, not randomness.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), and the result is clamped to [1, jobs] so callers
+// never spawn idle goroutines.
+func Workers(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs fn(worker, i) for every i in [0, n), fanning the index range
+// across the given number of workers in contiguous chunks. fn receives the
+// worker slot (0..workers-1) for scratch-arena lookup and the job index i for
+// everything that affects results. With workers <= 1 the loop runs inline on
+// the calling goroutine and performs no allocations.
+func For(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(w, i)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForCtx is For with cancellation and error propagation: each worker checks
+// ctx between jobs and stops its chunk on the first error. ForCtx returns the
+// error of the lowest-indexed failing job (deterministic regardless of worker
+// interleaving), or the context error if the run was cancelled.
+func ForCtx(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	chunk := (n + workers - 1) / workers
+	type failure struct {
+		i   int
+		err error
+	}
+	fails := make([]failure, workers)
+	for w := range fails {
+		fails[w].i = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(w, i); err != nil {
+					fails[w] = failure{i: i, err: err}
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	first := failure{i: n}
+	for _, f := range fails {
+		if f.err != nil && f.i < first.i {
+			first = f
+		}
+	}
+	return first.err
+}

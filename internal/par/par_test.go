@@ -1,0 +1,109 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, jobs, want int
+	}{
+		{0, 100, max},
+		{-3, 100, max},
+		{4, 100, 4},
+		{8, 3, 3},
+		{8, 0, 1},
+		{1, 100, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.jobs); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.jobs, got, c.want)
+		}
+	}
+}
+
+// TestForCoversEveryIndexOnce checks each job index runs exactly once for a
+// range of worker counts, including workers > n.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		const n = 53
+		var counts [n]int32
+		For(workers, n, func(worker, i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForInlineZeroAlloc(t *testing.T) {
+	sink := 0
+	fn := func(worker, i int) { sink += i }
+	allocs := testing.AllocsPerRun(10, func() {
+		For(1, 100, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("inline For allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestForCtxFirstErrorByIndex checks the returned error is the one from the
+// lowest failing index regardless of worker count.
+func TestForCtxFirstErrorByIndex(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 2, 4, 8} {
+		err := ForCtx(context.Background(), workers, 40, func(worker, i int) error {
+			switch i {
+			case 7:
+				return errLow
+			case 31:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestForCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForCtx(ctx, 4, 1000, func(worker, i int) error {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() == 1000 {
+		t.Error("cancellation did not stop the loop early")
+	}
+}
+
+func TestForCtxCompletes(t *testing.T) {
+	var counts [17]int32
+	if err := ForCtx(context.Background(), 5, len(counts), func(worker, i int) error {
+		atomic.AddInt32(&counts[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}

@@ -18,9 +18,8 @@ import (
 	"context"
 	"errors"
 	"math"
-	"runtime"
-	"sync"
 
+	"vbrsim/internal/par"
 	"vbrsim/internal/rng"
 )
 
@@ -162,13 +161,7 @@ func EstimateOverflowCtx(ctx context.Context, src PathSource, service, b float64
 	if opt.Replications <= 0 {
 		opt.Replications = 1000
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > opt.Replications {
-		workers = opt.Replications
-	}
+	workers := par.Workers(opt.Workers, opt.Replications)
 
 	// Pre-split one source per replication for determinism independent of
 	// scheduling order.
@@ -178,54 +171,38 @@ func EstimateOverflowCtx(ctx context.Context, src PathSource, service, b float64
 		sources[i] = root.Split()
 	}
 
-	hitsCh := make(chan int, workers)
-	var wg sync.WaitGroup
-	chunk := (opt.Replications + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > opt.Replications {
-			hi = opt.Replications
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			// One path buffer per worker when the source supports reuse.
-			srcInto, reuse := src.(PathSourceInto)
-			var buf []float64
-			if reuse {
-				buf = make([]float64, k)
-			}
-			hits := 0
-			for i := lo; i < hi; i++ {
-				if ctx.Err() != nil {
-					break
-				}
-				var path []float64
-				if reuse {
-					srcInto.ArrivalPathInto(sources[i], buf)
-					path = buf
-				} else {
-					path = src.ArrivalPath(sources[i], k)
-				}
-				if FinalOccupancy(opt.InitialOccupancy, path, service) > b {
-					hits++
-				}
-			}
-			hitsCh <- hits
-		}(lo, hi)
+	// One path buffer and hit counter per worker when the source supports
+	// reuse; hit counts are order-independent integer sums, so no
+	// per-replication deposit is needed for worker invariance.
+	srcInto, reuse := src.(PathSourceInto)
+	type arena struct {
+		buf  []float64
+		hits int
 	}
-	wg.Wait()
-	close(hitsCh)
-	if err := ctx.Err(); err != nil {
+	arenas := make([]arena, workers)
+	err := par.ForCtx(ctx, workers, opt.Replications, func(w, i int) error {
+		ar := &arenas[w]
+		var path []float64
+		if reuse {
+			if ar.buf == nil {
+				ar.buf = make([]float64, k)
+			}
+			srcInto.ArrivalPathInto(sources[i], ar.buf)
+			path = ar.buf
+		} else {
+			path = src.ArrivalPath(sources[i], k)
+		}
+		if FinalOccupancy(opt.InitialOccupancy, path, service) > b {
+			ar.hits++
+		}
+		return nil
+	})
+	if err != nil {
 		return Result{}, err
 	}
 	totalHits := 0
-	for h := range hitsCh {
-		totalHits += h
+	for _, ar := range arenas {
+		totalHits += ar.hits
 	}
 	// Indicator estimator: sum = hits, sumSq = hits.
 	return finalize(float64(totalHits), float64(totalHits), opt.Replications, totalHits), nil

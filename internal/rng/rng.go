@@ -31,6 +31,19 @@ func New(seed uint64) *Source {
 	return &src
 }
 
+// Reseed resets the receiver in place to the exact state New(seed) would
+// produce, discarding any cached normal spare. It lets batch loops reuse one
+// Source per worker across replications without a per-replication allocation:
+// r.Reseed(s) followed by any draw sequence yields bit-identical values to
+// New(s) followed by the same sequence.
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitMix64(sm)
+	}
+	r.spare, r.hasSpare = 0, false
+}
+
 // splitMix64 advances a SplitMix64 state and returns the new state and output.
 func splitMix64(state uint64) (next, out uint64) {
 	state += 0x9e3779b97f4a7c15

@@ -1,0 +1,149 @@
+package transform
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"vbrsim/internal/acf"
+	"vbrsim/internal/dist"
+	"vbrsim/internal/hosking"
+	"vbrsim/internal/rng"
+)
+
+func testTransform(t *testing.T) T {
+	t.Helper()
+	return New(dist.Lognormal{Mu: 9.6, Sigma: 0.4})
+}
+
+// TestLUTWithinMeasuredBound checks the table agrees with the exact
+// transform within its self-reported MaxError at random in-range points, and
+// exactly at grid points.
+func TestLUTWithinMeasuredBound(t *testing.T) {
+	tr := testTransform(t)
+	lut, err := tr.NewDefaultLUT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lut.MaxError() <= 0 {
+		t.Fatalf("MaxError = %v, want > 0 for a curved transform", lut.MaxError())
+	}
+	lo, hi := lut.Range()
+	r := rng.New(9)
+	for i := 0; i < 20000; i++ {
+		x := lo + (hi-lo)*r.Float64()
+		got := lut.Apply(x)
+		want := tr.Apply(x)
+		if d := math.Abs(got - want); d > lut.MaxError()*1.01 {
+			t.Fatalf("x=%v: |LUT-exact| = %g exceeds measured bound %g", x, d, lut.MaxError())
+		}
+	}
+	// The relative error should be tiny for the paper's marginal.
+	mid := tr.Apply(0)
+	if rel := lut.MaxError() / mid; rel > 1e-5 {
+		t.Errorf("relative max error %g unexpectedly large", rel)
+	}
+}
+
+// TestLUTExactFallback checks out-of-range and NaN inputs take the exact
+// path bit-for-bit.
+func TestLUTExactFallback(t *testing.T) {
+	tr := testTransform(t)
+	lut, err := tr.NewDefaultLUT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-12, -6.0001, 6.0001, 12, math.Inf(1), math.Inf(-1)} {
+		if got, want := lut.Apply(x), tr.Apply(x); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("x=%v: fallback %v != exact %v", x, got, want)
+		}
+	}
+	if got := lut.Apply(math.NaN()); !math.IsNaN(got) {
+		// The exact transform of NaN propagates NaN; the LUT must not
+		// accidentally index the table with it.
+		t.Fatalf("Apply(NaN) = %v, want NaN", got)
+	}
+}
+
+// TestLUTMonotone verifies interpolation preserves the monotonicity of h.
+func TestLUTMonotone(t *testing.T) {
+	tr := testTransform(t)
+	lut, err := tr.NewLUT(512, -6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevX := math.Inf(-1)
+	prev := math.Inf(-1)
+	for i := 0; i <= 20000; i++ {
+		x := -6.5 + 13*float64(i)/20000
+		v := lut.Apply(x)
+		if v < prev {
+			t.Fatalf("LUT not monotone: h(%v)=%v < h(%v)=%v", x, v, prevX, prev)
+		}
+		prevX, prev = x, v
+	}
+}
+
+func TestLUTValidation(t *testing.T) {
+	tr := testTransform(t)
+	if _, err := tr.NewLUT(1, -8, 8); err == nil {
+		t.Error("bins=1 accepted")
+	}
+	if _, err := tr.NewLUT(64, 3, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := tr.NewLUT(64, -8, math.Inf(1)); err == nil {
+		t.Error("infinite range accepted")
+	}
+}
+
+// TestLUTApplyToZeroAlloc is the allocation regression gate for the
+// table-based transform hot path.
+func TestLUTApplyToZeroAlloc(t *testing.T) {
+	tr := testTransform(t)
+	lut, err := tr.NewDefaultLUT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = r.Norm()
+	}
+	dst := make([]float64, len(xs))
+	allocs := testing.AllocsPerRun(10, func() {
+		lut.ApplyTo(dst, xs)
+	})
+	if allocs != 0 {
+		t.Fatalf("LUT.ApplyTo allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestMeasureWorkerInvariant checks the attenuation measurement is
+// bit-identical for 1 and 8 workers (rep-indexed seeding contract).
+func TestMeasureWorkerInvariant(t *testing.T) {
+	tr := testTransform(t)
+	plan, err := hosking.NewPlan(acf.FGN{H: 0.9}, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MeasureOptions{Lags: []int{40, 60}, Replications: 12, Seed: 31}
+	opt1 := base
+	opt1.Workers = 1
+	a1, err := MeasureCtx(context.Background(), plan, tr, 600, opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt8 := base
+	opt8.Workers = 8
+	a8, err := MeasureCtx(context.Background(), plan, tr, 600, opt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(a1) != math.Float64bits(a8) {
+		t.Fatalf("attenuation differs across worker counts: %v (1 worker) vs %v (8 workers)", a1, a8)
+	}
+	if a1 <= 0 || a1 > 1 {
+		t.Fatalf("attenuation %v outside (0, 1]", a1)
+	}
+}

@@ -22,9 +22,10 @@ import (
 	"math"
 
 	"vbrsim/internal/dist"
+	"vbrsim/internal/fft"
 	"vbrsim/internal/hosking"
+	"vbrsim/internal/par"
 	"vbrsim/internal/rng"
-	"vbrsim/internal/stats"
 )
 
 // T is the histogram-inversion transform h from a standard normal background
@@ -122,6 +123,12 @@ type MeasureOptions struct {
 	Replications int
 	// Seed drives the measurement.
 	Seed uint64
+	// Workers caps the goroutines the replications fan across; <= 0 selects
+	// GOMAXPROCS. The result is bit-identical for every setting: each
+	// replication's generator is split from the seed in replication order
+	// (never indexed by worker), and the pooled curves are reduced in
+	// replication order.
+	Workers int
 }
 
 // Measure estimates the attenuation factor empirically, exactly as the
@@ -134,6 +141,9 @@ func Measure(plan *hosking.Plan, t T, pathLen int, opt MeasureOptions) (float64,
 
 // MeasureCtx is Measure with cancellation: ctx is polled between
 // replications, so a canceled caller waits at most one path generation.
+// Replications run on a worker pool (see MeasureOptions.Workers) with one
+// generator per replication, split from the seed in replication order, so
+// the measurement is invariant under the worker count.
 func MeasureCtx(ctx context.Context, plan *hosking.Plan, t T, pathLen int, opt MeasureOptions) (float64, error) {
 	if pathLen > plan.Len() {
 		pathLen = plan.Len()
@@ -156,18 +166,45 @@ func MeasureCtx(ctx context.Context, plan *hosking.Plan, t T, pathLen int, opt M
 	if maxLag >= pathLen/2 {
 		return 0, errors.New("transform: measurement lag too large for path length")
 	}
-	r := rng.New(opt.Seed)
+	reps := opt.Replications
+	root := rng.New(opt.Seed)
+	sources := make([]*rng.Source, reps)
+	for i := range sources {
+		sources[i] = root.Split()
+	}
 	meanY := t.Target.Mean()
-	xACov := make([]float64, maxLag+1)
-	yACov := make([]float64, maxLag+1)
-	for rep := 0; rep < opt.Replications; rep++ {
-		if err := ctx.Err(); err != nil {
-			return 0, err
+	lagN := maxLag + 1
+	// Per-replication autocovariance curves, deposited by replication index
+	// and reduced sequentially below: the float sums are computed in the same
+	// order regardless of how replications interleave across workers.
+	axAll := make([]float64, reps*lagN)
+	ayAll := make([]float64, reps*lagN)
+	workers := par.Workers(opt.Workers, reps)
+	type arena struct {
+		x, y []float64
+		s    fft.Scratch
+	}
+	arenas := make([]arena, workers)
+	err := par.ForCtx(ctx, workers, reps, func(w, rep int) error {
+		ar := &arenas[w]
+		if ar.x == nil {
+			ar.x = make([]float64, pathLen)
+			ar.y = make([]float64, pathLen)
 		}
-		x := plan.Path(r, pathLen)
-		y := t.ApplySlice(x)
-		ax := stats.AutocovarianceKnownMean(x, 0, maxLag)
-		ay := stats.AutocovarianceKnownMean(y, meanY, maxLag)
+		plan.Generate(sources[rep], ar.x)
+		t.ApplyTo(ar.y, ar.x)
+		fft.AutocovarianceKnownMeanInto(axAll[rep*lagN:(rep+1)*lagN], ar.x, 0, &ar.s)
+		fft.AutocovarianceKnownMeanInto(ayAll[rep*lagN:(rep+1)*lagN], ar.y, meanY, &ar.s)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	xACov := make([]float64, lagN)
+	yACov := make([]float64, lagN)
+	for rep := 0; rep < reps; rep++ {
+		ax := axAll[rep*lagN : (rep+1)*lagN]
+		ay := ayAll[rep*lagN : (rep+1)*lagN]
 		for k := range xACov {
 			xACov[k] += ax[k]
 			yACov[k] += ay[k]

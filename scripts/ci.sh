@@ -29,8 +29,10 @@ echo "== conformance -quick"
 # Statistical acceptance gates: deterministic seeded checks that the
 # backends still produce paper-conformant traffic (marginal, ACF, Hurst,
 # cross-backend agreement, IS-vs-MC queue tails). Writes the
-# machine-readable report alongside the bench artifacts.
-go run ./cmd/conformance -quick -out CONFORMANCE_1.json
+# machine-readable report alongside the bench artifacts. -workers 4 fans
+# the replication loops out; the report is bit-identical at any setting
+# (the race gate above covers the same worker pools via -race -short).
+go run ./cmd/conformance -quick -workers 4 -out CONFORMANCE_1.json
 
 echo "== fuzz smoke"
 # Bounded runs of the native fuzz targets: spec decoding must never panic
