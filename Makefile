@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci bench conformance clean
+.PHONY: all build test race vet ci bench conformance profile clean
 
 all: build
 
@@ -21,7 +21,7 @@ vet:
 ci:
 	./scripts/ci.sh
 
-# Runs the ablation suite and writes machine-readable BENCH_2.json.
+# Runs the ablation suite and writes machine-readable BENCH_3.json.
 bench:
 	$(GO) run ./cmd/bench
 
@@ -29,6 +29,14 @@ bench:
 # Use `go run ./cmd/conformance -full` for paper-scale sample sizes.
 conformance:
 	$(GO) run ./cmd/conformance -quick -out CONFORMANCE_1.json
+
+# CPU profile of a short estimation run; inspect with
+# `go tool pprof PROFILE.pprof`.
+profile:
+	$(GO) run ./cmd/tracegen -intra -frames 8192 -format bin -o /tmp/vbrsim-profile.bin
+	$(GO) run ./cmd/qsim -i /tmp/vbrsim-profile.bin -util 0.6 -buffer 30 \
+		-reps 500 -cpuprofile PROFILE.pprof
+	@echo "wrote PROFILE.pprof"
 
 clean:
 	$(GO) clean ./...

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                 # writes BENCH_2.json
+//	go run ./cmd/bench                 # writes BENCH_3.json
 //	go run ./cmd/bench -o out.json -benchtime 2s
 package main
 
@@ -37,7 +37,7 @@ type entry struct {
 	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
-// report is the BENCH_2.json schema: environment header plus one entry per
+// report is the BENCH_3.json schema: environment header plus one entry per
 // benchmark, keyed by name.
 type report struct {
 	GoVersion  string           `json:"go_version"`
@@ -51,7 +51,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out       = fs.String("o", "BENCH_2.json", "output JSON file")
+		out       = fs.String("o", "BENCH_3.json", "output JSON file")
 		benchtime = fs.Duration("benchtime", time.Second, "target time per benchmark")
 	)
 	if err := fs.Parse(args); err != nil {

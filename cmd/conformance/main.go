@@ -12,12 +12,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 
 	"vbrsim/internal/conformance"
@@ -36,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "worker goroutines per replication loop (0 = GOMAXPROCS; results are identical for every setting)")
 	only := fs.String("only", "", "run only checks whose name or family contains this substring")
 	out := fs.String("out", "", "write the JSON report to this file")
+	progress := fs.Bool("progress", false, "stream per-check progress to stderr as NDJSON")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -63,8 +66,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var hooks conformance.Hooks
+	if *progress {
+		hooks = progressHooks(stderr)
+	}
+
 	fmt.Fprintf(stdout, "conformance suite: %d checks, %s mode, seed %d\n", len(checks), cfg.Mode(), cfg.Seed)
-	report := conformance.RunSuite(ctx, checks, cfg)
+	report := conformance.RunSuiteHooks(ctx, checks, cfg, hooks)
 	for _, r := range report.Results {
 		status := "PASS"
 		if !r.Passed {
@@ -107,4 +115,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// progressHooks streams per-check lifecycle events to w as NDJSON, one
+// object per line, so a harness can watch a long suite converge live.
+func progressHooks(w io.Writer) conformance.Hooks {
+	var mu sync.Mutex
+	emit := func(v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		w.Write(append(b, '\n'))
+	}
+	return conformance.Hooks{
+		CheckStart: func(index, total int, name string) {
+			emit(map[string]any{
+				"type": "check_start", "index": index, "total": total, "name": name,
+			})
+		},
+		CheckDone: func(index, total int, res conformance.Result) {
+			emit(map[string]any{
+				"type": "check_done", "index": index, "total": total,
+				"name": res.Name, "family": res.Family, "passed": res.Passed,
+				"duration_sec": res.Duration, "metrics": len(res.Metrics),
+			})
+		},
+	}
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"vbrsim/internal/experiments"
+	"vbrsim/internal/obs"
 )
 
 func main() {
@@ -34,17 +35,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out     = fs.String("out", "experiment-data", "output directory for .dat files")
-		quick   = fs.Bool("quick", false, "reduced sweeps (for smoke testing)")
-		frames  = fs.Int("frames", 0, "synthetic empirical trace length (0 = default; paper: 238626)")
-		seed    = fs.Uint64("seed", 1995, "master seed")
-		reps    = fs.Int("reps", 0, "Monte-Carlo/IS replications (0 = default 1000)")
-		only    = fs.String("only", "", "comma-separated exhibit ids (default: all)")
-		fast    = fs.Bool("fast", false, "use the truncated-AR Hosking fast path (O(p) per step, unbounded horizon); same as synth -backend hosking-fast")
-		fastTol = fs.Float64("fast-tol", 0, "fast-path partial-correlation cutoff (0 = default 1e-3)")
+		out      = fs.String("out", "experiment-data", "output directory for .dat files")
+		quick    = fs.Bool("quick", false, "reduced sweeps (for smoke testing)")
+		frames   = fs.Int("frames", 0, "synthetic empirical trace length (0 = default; paper: 238626)")
+		seed     = fs.Uint64("seed", 1995, "master seed")
+		reps     = fs.Int("reps", 0, "Monte-Carlo/IS replications (0 = default 1000)")
+		only     = fs.String("only", "", "comma-separated exhibit ids (default: all)")
+		fast     = fs.Bool("fast", false, "use the truncated-AR Hosking fast path (O(p) per step, unbounded horizon); same as synth -backend hosking-fast")
+		fastTol  = fs.Float64("fast-tol", 0, "fast-path partial-correlation cutoff (0 = default 1e-3)")
+		progress = fs.Bool("progress", false, "stream per-exhibit spans to stderr as NDJSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// With -progress each exhibit becomes a streamed span (wall time,
+	// allocations) so long suites can be watched converge exhibit by
+	// exhibit; without it the tracer is nil and the spans are no-ops.
+	var tracer *obs.Tracer
+	if *progress {
+		tracer = obs.NewTracer(stderr)
 	}
 
 	lab := experiments.NewLab(experiments.Config{
@@ -67,10 +76,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
+		span := tracer.Start("exhibit." + id)
 		res, err := lab.Run(id)
 		if err != nil {
+			span.End(map[string]any{"error": err.Error()})
 			return fmt.Errorf("%s: %w", id, err)
 		}
+		span.End(map[string]any{"title": res.Title})
 		fmt.Fprintf(stdout, "=== %s: %s (%.1fs)\n", res.ID, res.Title, time.Since(start).Seconds())
 		for _, n := range res.Notes {
 			fmt.Fprintf(stdout, "    %s\n", n)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 
 	"vbrsim/internal/core"
 	"vbrsim/internal/modelspec"
+	"vbrsim/internal/obs"
 	"vbrsim/internal/trace"
 )
 
@@ -38,22 +40,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fitmodel", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		in        = fs.String("i", "", "input trace (csv or bin, by extension)")
-		frameType = fs.String("type", "", "fit only one frame type: I, P or B")
-		gop       = fs.Bool("gop", false, "fit the composite I-B-P model (Section 3.3)")
-		knee      = fs.Int("knee", 0, "force the ACF knee lag (0 = detect)")
-		freeBeta  = fs.Bool("free-beta", false, "fit the LRD exponent from the ACF tail instead of pinning beta = 2-2H")
-		srd       = fs.Int("srd", 1, "number of exponentials in the SRD head (1 or 2)")
-		refine    = fs.Bool("refine", false, "run the closed-loop background refinement after fitting")
-		seed      = fs.Uint64("seed", 1, "seed for the attenuation measurement")
-		transform = fs.String("transform-out", "", "write the h(x) transform table (Fig. 2) to this file")
-		jsonOut   = fs.String("json", "", "write the fitted model as a trafficd-servable spec to this file (- for stdout)")
+		in          = fs.String("i", "", "input trace (csv or bin, by extension)")
+		frameType   = fs.String("type", "", "fit only one frame type: I, P or B")
+		gop         = fs.Bool("gop", false, "fit the composite I-B-P model (Section 3.3)")
+		knee        = fs.Int("knee", 0, "force the ACF knee lag (0 = detect)")
+		freeBeta    = fs.Bool("free-beta", false, "fit the LRD exponent from the ACF tail instead of pinning beta = 2-2H")
+		srd         = fs.Int("srd", 1, "number of exponentials in the SRD head (1 or 2)")
+		refine      = fs.Bool("refine", false, "run the closed-loop background refinement after fitting")
+		seed        = fs.Uint64("seed", 1, "seed for the attenuation measurement")
+		transform   = fs.String("transform-out", "", "write the h(x) transform table (Fig. 2) to this file")
+		jsonOut     = fs.String("json", "", "write the fitted model as a trafficd-servable spec to this file (- for stdout)")
+		manifestOut = fs.String("manifest", "", "write a run-manifest JSON artifact (stage spans, fitted parameters) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("missing -i input trace")
+	}
+	// With -manifest the fit stages are traced (collect-only) and rolled up
+	// with the fitted parameters into a reproducibility artifact.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	results := map[string]any{}
+	if *manifestOut != "" {
+		tracer = obs.NewTracer(nil)
+		ctx = obs.ContextWithTracer(ctx, tracer)
+		defer func() {
+			m := tracer.Manifest("fitmodel", args, int64(*seed), results, nil)
+			if err := obs.WriteManifestFile(*manifestOut, m); err != nil {
+				fmt.Fprintf(stderr, "fitmodel: writing manifest: %v\n", err)
+			} else {
+				fmt.Fprintf(stderr, "wrote %s\n", *manifestOut)
+			}
+		}()
 	}
 	tr, err := readTrace(*in)
 	if err != nil {
@@ -71,6 +91,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "P-frame marginal mean: %.1f bytes\n", g.TP.Target.Mean())
 		fmt.Fprintf(stdout, "B-frame marginal mean: %.1f bytes\n", g.TB.Target.Mean())
 		fmt.Fprintf(stdout, "composite mean rate: %.1f bytes/frame\n", g.MeanRate())
+		results["mode"] = "gop"
+		results["gop_period"] = g.KI
+		results["h"] = g.IModel.H
+		results["mean_rate"] = g.MeanRate()
 		return nil
 	}
 
@@ -85,11 +109,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("trace carries no frame-type information")
 		}
 	}
-	m, err := core.Fit(sizes, opt)
+	m, err := core.FitCtx(ctx, sizes, opt)
 	if err != nil {
 		return err
 	}
 	printModel(stdout, m, "fitted unified model")
+	results["mode"] = "single"
+	results["h"] = m.H
+	results["attenuation"] = m.Attenuation
+	results["knee"] = m.Foreground.Knee
+	results["beta"] = m.Foreground.Beta
+	results["mean_rate"] = m.MeanRate()
 
 	if *refine {
 		res, err := m.Refine(core.RefineOptions{Seed: *seed})

@@ -10,19 +10,30 @@
 //	qsim -i trace.csv -util 0.2 -buffer 25 -search        # find a good twist
 //	qsim -i trace.csv -util 0.6 -buffer 100 -trace-driven # drive the queue with the raw trace
 //	qsim -i trace.csv -util 0.7 -buffer 100 -sources 8    # multiplex 8 sources
+//
+// Observability (all determinism-neutral — estimates are bit-identical with
+// these on or off):
+//
+//	qsim ... -progress               # NDJSON convergence snapshots on stderr
+//	qsim ... -trace-out run.ndjson   # pipeline stage spans (fit, plan, queue)
+//	qsim ... -manifest run.json      # run-manifest artifact (seed, stages, results)
+//	qsim ... -cpuprofile cpu.pprof   # pprof CPU profile of the run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"vbrsim/internal/core"
 	"vbrsim/internal/hosking"
 	"vbrsim/internal/impsample"
+	"vbrsim/internal/obs"
 	"vbrsim/internal/queue"
 	"vbrsim/internal/stats"
 	"vbrsim/internal/trace"
@@ -35,7 +46,8 @@ func main() {
 	}
 }
 
-// run executes the tool; split from main for testability.
+// run parses flags, sets up observability, and delegates to qsimRun; split
+// from main for testability.
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("qsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -55,6 +67,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sources     = fs.Int("sources", 1, "number of multiplexed sources (plain MC only when > 1)")
 		fast        = fs.Bool("fast", false, "use the truncated-AR Hosking fast path (O(p) per step, unbounded horizon); same as synth -backend hosking-fast")
 		fastTol     = fs.Float64("fast-tol", 0, "fast-path partial-correlation cutoff (0 = default 1e-3)")
+
+		progress      = fs.Bool("progress", false, "stream estimator convergence snapshots to stderr as NDJSON")
+		progressEvery = fs.Int("progress-every", 0, "replications between convergence snapshots (0 = ~32 over the run)")
+		traceOut      = fs.String("trace-out", "", "write pipeline stage spans as NDJSON to this file (- for stderr)")
+		manifestOut   = fs.String("manifest", "", "write a run-manifest JSON artifact to this file")
+		cpuprofile    = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,22 +80,106 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *in == "" {
 		return fmt.Errorf("missing -i input trace")
 	}
-	tr, err := readTrace(*in)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	// The tracer records stage spans for -trace-out and -manifest; when
+	// neither is requested it stays nil and every span call is a no-op.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *traceOut != "" || *manifestOut != "" {
+		var tw io.Writer
+		switch *traceOut {
+		case "":
+			// collect-only, for the manifest rollup
+		case "-":
+			tw = stderr
+		default:
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			tw = f
+		}
+		tracer = obs.NewTracer(tw)
+		ctx = obs.ContextWithTracer(ctx, tracer)
+	}
+	var onProgress func(obs.Convergence)
+	if *progress {
+		onProgress = obs.ProgressWriter(stderr)
+	}
+
+	results := map[string]any{}
+	err := qsimRun(ctx, stdout, qsimFlags{
+		in: *in, frameType: *frameType, util: *util, bufNorm: *bufNorm,
+		horizon: *horizon, twist: *twist, reps: *reps, seed: *seed,
+		mc: *mc, search: *search, traceDriven: *traceDriven,
+		batches: *batches, sources: *sources, fast: *fast, fastTol: *fastTol,
+		onProgress: onProgress, progressEvery: *progressEvery,
+	}, results)
+
+	if *manifestOut != "" {
+		// The shared plan cache is the only process-wide instrument a CLI
+		// run touches; expose it so the manifest's metrics section shows
+		// cache behaviour for this run.
+		hosking.Shared.RegisterMetrics(obs.Default)
+		m := tracer.Manifest("qsim", args, int64(*seed), results, obs.Default)
+		if werr := obs.WriteManifestFile(*manifestOut, m); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// qsimFlags carries the parsed flag values into the run body.
+type qsimFlags struct {
+	in, frameType        string
+	util, bufNorm, twist float64
+	horizon, reps        int
+	seed                 uint64
+	mc, search           bool
+	traceDriven, fast    bool
+	batches, sources     int
+	fastTol              float64
+	onProgress           func(obs.Convergence)
+	progressEvery        int
+}
+
+// qsimRun is the tool body: everything after flag parsing and observability
+// setup. It fills results for the run manifest.
+func qsimRun(ctx context.Context, stdout io.Writer, f qsimFlags, results map[string]any) error {
+	tr, err := readTrace(f.in)
 	if err != nil {
 		return err
 	}
 
-	if *traceDriven {
+	if f.traceDriven {
 		mean := stats.Mean(tr.Sizes)
-		service := mean / *util
-		p, err := queue.TraceOverflow(tr.Sizes, service, *bufNorm*mean, 1000)
+		service := mean / f.util
+		p, err := queue.TraceOverflow(tr.Sizes, service, f.bufNorm*mean, 1000)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "trace-driven steady state: P(Q > %g) = %.3g (log10 %.2f)\n",
-			*bufNorm, p, log10(p))
-		if *batches > 1 {
-			ci, err := queue.TraceOverflowCI(tr.Sizes, service, *bufNorm*mean, 1000, *batches)
+			f.bufNorm, p, log10(p))
+		results["mode"] = "trace-driven"
+		results["p"] = p
+		if f.batches > 1 {
+			ci, err := queue.TraceOverflowCI(tr.Sizes, service, f.bufNorm*mean, 1000, f.batches)
 			if err != nil {
 				return err
 			}
@@ -86,13 +188,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if ci.BatchCorr > 0.3 {
 				fmt.Fprintf(stdout, "warning: batches remain correlated (LRD) — the interval understates the true uncertainty\n")
 			}
+			results["batch_p"] = ci.P
+			results["batch_half_width_95"] = ci.HalfWidth95
+			results["batch_corr"] = ci.BatchCorr
 		}
 		return nil
 	}
 
 	sizes := tr.Sizes
-	if *frameType != "" && tr.Types != nil {
-		ft, err := trace.ParseFrameType(*frameType)
+	if f.frameType != "" && tr.Types != nil {
+		ft, err := trace.ParseFrameType(f.frameType)
 		if err != nil {
 			return err
 		}
@@ -100,17 +205,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 			sizes = s
 		}
 	}
-	m, err := core.Fit(sizes, core.FitOptions{Seed: *seed})
+	m, err := core.FitCtx(ctx, sizes, core.FitOptions{Seed: f.seed})
 	if err != nil {
 		return err
 	}
-	k := *horizon
+	k := f.horizon
 	if k <= 0 {
-		k = int(10 * *bufNorm)
+		k = int(10 * f.bufNorm)
 	}
 	var trunc *hosking.Truncated
-	if *fast {
-		trunc, err = m.TruncatedPlan(k, *fastTol)
+	if f.fast {
+		trunc, err = m.TruncatedPlanCtx(ctx, k, f.fastTol)
 		if err != nil {
 			return err
 		}
@@ -121,66 +226,76 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if trunc != nil {
 		planLen = trunc.Plan().Len() // already cached; avoids a second exact plan
 	}
-	plan, err := m.Plan(planLen)
+	plan, err := m.PlanCtx(ctx, planLen)
 	if err != nil {
 		return err
 	}
 
-	if *sources > 1 {
+	if f.sources > 1 {
 		// Multiplexed sources: plain MC on the superposed arrival process.
-		aggMean := float64(*sources) * m.MeanRate()
-		service, err := queue.UtilizationService(aggMean, *util)
+		aggMean := float64(f.sources) * m.MeanRate()
+		service, err := queue.UtilizationService(aggMean, f.util)
 		if err != nil {
 			return err
 		}
 		src := queue.Superposition{
 			Base: core.ArrivalSource{Plan: plan, Fast: trunc, Transform: m.Transform},
-			N:    *sources,
+			N:    f.sources,
 		}
-		res, err := queue.EstimateOverflow(src, service, *bufNorm*aggMean, k,
-			queue.MCOptions{Replications: *reps, Seed: *seed})
+		res, err := queue.EstimateOverflowCtx(ctx, src, service, f.bufNorm*aggMean, k,
+			queue.MCOptions{Replications: f.reps, Seed: f.seed,
+				Progress: f.onProgress, ProgressEvery: f.progressEvery})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "%d multiplexed sources, util %.2f, normalized buffer %g, k = %d:\n",
-			*sources, *util, *bufNorm, k)
+			f.sources, f.util, f.bufNorm, k)
 		fmt.Fprintf(stdout, "  P(Q_k > b) = %.4g  (log10 %.2f), hits %d/%d\n",
 			res.P, log10(res.P), res.Hits, res.Replications)
+		results["mode"] = "multiplexed-mc"
+		results["sources"] = f.sources
+		results["p"] = res.P
+		results["hits"] = res.Hits
+		results["replications"] = res.Replications
 		return nil
 	}
 
-	service, err := queue.UtilizationService(m.MeanRate(), *util)
+	service, err := queue.UtilizationService(m.MeanRate(), f.util)
 	if err != nil {
 		return err
 	}
-	bufAbs := *bufNorm * m.MeanRate()
+	bufAbs := f.bufNorm * m.MeanRate()
 	cfg := impsample.Config{
 		Plan: plan, FastPlan: trunc, Transform: m.Transform,
 		Service: service, Buffer: bufAbs, Horizon: k,
-		Twist: *twist, Replications: *reps, Seed: *seed,
+		Twist: f.twist, Replications: f.reps, Seed: f.seed,
+		Progress: f.onProgress, ProgressEvery: f.progressEvery,
 	}
-	if *mc {
+	if f.mc {
 		cfg.Twist = 0
 	}
 
-	if *search {
+	if f.search {
 		twists := []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
-		results, best, err := impsample.SearchTwist(cfg, twists)
+		sweep, best, err := impsample.SearchTwist(cfg, twists)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "%-8s %-12s %-14s %-10s\n", "m*", "P(Q_k>b)", "norm.var", "var.red.")
-		for _, r := range results {
+		for _, r := range sweep {
 			fmt.Fprintf(stdout, "%-8.1f %-12.3g %-14.3g %-10.0f\n",
 				r.Twist, r.Result.P, r.Result.NormVar, impsample.VarianceReduction(r.Result))
 		}
 		if best >= 0 {
-			fmt.Fprintf(stdout, "valley at m* = %.1f (paper: 3.2 at util 0.2, b 25)\n", results[best].Twist)
+			fmt.Fprintf(stdout, "valley at m* = %.1f (paper: 3.2 at util 0.2, b 25)\n", sweep[best].Twist)
+			results["mode"] = "twist-search"
+			results["best_twist"] = sweep[best].Twist
+			results["best_p"] = sweep[best].Result.P
 		}
 		return nil
 	}
 
-	res, err := impsample.Estimate(cfg)
+	res, err := impsample.EstimateCtx(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -189,12 +304,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		mode = "plain Monte Carlo"
 	}
 	fmt.Fprintf(stdout, "%s, util %.2f, normalized buffer %g, k = %d, N = %d:\n",
-		strings.ToUpper(mode[:1])+mode[1:], *util, *bufNorm, k, res.Replications)
+		strings.ToUpper(mode[:1])+mode[1:], f.util, f.bufNorm, k, res.Replications)
 	fmt.Fprintf(stdout, "  P(Q_k > b) = %.4g  (log10 %.2f)\n", res.P, log10(res.P))
 	fmt.Fprintf(stdout, "  std err %.3g, hits %d, normalized variance %.3g\n", res.StdErr, res.Hits, res.NormVar)
 	if cfg.Twist != 0 {
 		fmt.Fprintf(stdout, "  variance reduction vs plain MC: %.0fx\n", impsample.VarianceReduction(res))
 	}
+	results["mode"] = mode
+	results["p"] = res.P
+	results["std_err"] = res.StdErr
+	results["hits"] = res.Hits
+	results["norm_var"] = res.NormVar
+	results["replications"] = res.Replications
 	return nil
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -116,5 +117,75 @@ func TestRunErrors(t *testing.T) {
 	path := testTracePath(t)
 	if err := run([]string{"-i", path, "-util", "1.5", "-buffer", "10"}, &stdout, &stderr); err == nil {
 		t.Error("bad utilization accepted")
+	}
+}
+
+// TestRunObservability exercises the telemetry flags end to end: NDJSON
+// convergence snapshots and spans on stderr, a parseable run manifest, a
+// non-empty CPU profile — and bit-identical stdout with telemetry off.
+func TestRunObservability(t *testing.T) {
+	path := testTracePath(t)
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "run.json")
+	profile := filepath.Join(dir, "cpu.pprof")
+
+	var plain, plainErr bytes.Buffer
+	args := []string{"-i", path, "-util", "0.6", "-buffer", "30", "-reps", "200", "-twist", "1.0"}
+	if err := run(args, &plain, &plainErr); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	instrumented := append([]string{}, args...)
+	instrumented = append(instrumented,
+		"-progress", "-progress-every", "50",
+		"-trace-out", "-", "-manifest", manifest, "-cpuprofile", profile)
+	if err := run(instrumented, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+
+	if stdout.String() != plain.String() {
+		t.Errorf("telemetry changed the estimate:\nplain:\n%s\ninstrumented:\n%s",
+			plain.String(), stdout.String())
+	}
+	for _, want := range []string{`"type":"convergence"`, `"estimator":"is"`, `"type":"span"`, `"stage":"impsample.estimate"`} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+
+	raw, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Tool   string `json:"tool"`
+		Seed   int64  `json:"seed"`
+		Stages []struct {
+			Stage string `json:"stage"`
+		} `json:"stages"`
+		Results map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	if m.Tool != "qsim" || m.Seed != 1 {
+		t.Errorf("manifest tool/seed = %q/%d", m.Tool, m.Seed)
+	}
+	stages := map[string]bool{}
+	for _, s := range m.Stages {
+		stages[s.Stage] = true
+	}
+	for _, want := range []string{"fit.hurst", "fit.acf", "fit.attenuation", "plan.acquire", "impsample.estimate"} {
+		if !stages[want] {
+			t.Errorf("manifest missing stage %q (have %v)", want, stages)
+		}
+	}
+	if _, ok := m.Results["p"]; !ok {
+		t.Errorf("manifest results missing p: %v", m.Results)
+	}
+
+	if fi, err := os.Stat(profile); err != nil || fi.Size() == 0 {
+		t.Errorf("cpu profile missing or empty: %v", err)
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"vbrsim/internal/core"
+	"vbrsim/internal/obs"
 	"vbrsim/internal/stats"
 	"vbrsim/internal/trace"
 )
@@ -44,9 +46,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		acfLags     = fs.Int("acf-lags", 490, "ACF comparison lags")
 		backendName = fs.String("backend", "auto", "background generator: auto, hosking, daviesharte, or hosking-fast")
 		fast        = fs.Bool("fast", false, "use the truncated-AR Hosking fast path (O(p) per step, unbounded horizon); same as -backend hosking-fast")
+		traceOut    = fs.String("trace-out", "", "write pipeline stage spans as NDJSON to this file (- for stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		var tw io.Writer = stderr
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			tw = f
+		}
+		tracer = obs.NewTracer(tw)
+		ctx = obs.ContextWithTracer(ctx, tracer)
 	}
 	if *fast {
 		switch strings.ToLower(*backendName) {
@@ -70,23 +88,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var syn *trace.Trace
 	if *gop && tr.Types != nil {
+		span := tracer.Start("fit.gop")
 		g, err := core.FitGOP(tr, core.FitOptions{Seed: *seed})
 		if err != nil {
 			return err
 		}
+		span.End(map[string]any{"frames": len(tr.Sizes), "gop_period": g.KI})
+		span = tracer.Start("generate")
 		syn, err = g.Generate(*frames, *seed, backend)
 		if err != nil {
 			return err
 		}
+		span.End(map[string]any{"frames": *frames, "backend": *backendName})
 	} else {
-		m, err := core.Fit(tr.Sizes, core.FitOptions{Seed: *seed})
+		m, err := core.FitCtx(ctx, tr.Sizes, core.FitOptions{Seed: *seed})
 		if err != nil {
 			return err
 		}
+		span := tracer.Start("generate")
 		sizes, err := m.Generate(*frames, *seed, backend)
 		if err != nil {
 			return err
 		}
+		span.End(map[string]any{"frames": *frames, "backend": *backendName})
 		syn = &trace.Trace{Sizes: sizes, FrameRate: tr.FrameRate}
 	}
 

@@ -22,11 +22,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"vbrsim/internal/obs"
 	"vbrsim/internal/server"
 )
 
@@ -52,17 +54,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		seed         = fs.Uint64("seed", 1, "base seed for server-assigned session seeds")
 		tol          = fs.Float64("tol", 0, "truncated-AR partial-correlation cutoff for session plans (0 = default 1e-3)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		debugAddr    = fs.String("debug-addr", "", "serve pprof and /debug/vars on this extra address (empty = disabled; keep it private)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// The daemon reports through the process-default registry so any
+	// in-process instrumentation (plan cache, worker pools) lands on the
+	// same /metrics page.
 	srv := server.New(server.Options{
 		MaxSessions:   *maxSessions,
 		JobWorkers:    *jobWorkers,
 		JobQueueDepth: *jobQueue,
 		Seed:          *seed,
 		Tol:           *tol,
+		Registry:      obs.Default,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -71,6 +78,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	// The resolved address goes to stdout so scripts binding port 0 can
 	// parse where the daemon actually listens.
 	fmt.Fprintf(stdout, "trafficd listening on http://%s\n", ln.Addr())
+
+	var debugServer *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", srv.Registry().DumpHandler())
+		debugServer = &http.Server{Handler: dmux}
+		fmt.Fprintf(stdout, "trafficd debug on http://%s/debug/pprof/\n", dln.Addr())
+		go debugServer.Serve(dln)
+	}
 
 	hs := &http.Server{Handler: srv}
 	errCh := make(chan error, 1)
@@ -83,6 +109,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	fmt.Fprintln(stderr, "trafficd: draining")
+	if debugServer != nil {
+		debugServer.Close()
+	}
 	srv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

@@ -1,0 +1,15 @@
+package benchsuite
+
+import "testing"
+
+// BenchmarkSuite exposes the suite to `go test -bench`, e.g.
+//
+//	go test ./internal/benchsuite -bench 'Suite/DHPathTelemetry' -count 5
+//
+// cmd/bench runs the same Bench funcs directly (testing.Benchmark discards
+// sub-benchmark results, so the suite stays flat).
+func BenchmarkSuite(b *testing.B) {
+	for _, bm := range Suite() {
+		b.Run(bm.Name, bm.F)
+	}
+}

@@ -49,6 +49,13 @@ func Suite() []Bench {
 		{"FFTRealForward/n=8192", BenchFFTRealForward},
 		{"TransformApplyExact/n=4096", BenchTransformApplyExact},
 		{"TransformApplyLUT/n=4096", BenchTransformApplyLUT},
+		{"RegistryCounterAdd", BenchRegistryCounterAdd},
+		{"SpanStartEnd/off", BenchSpanStartEndOff},
+		{"SpanStartEnd/on", BenchSpanStartEndOn},
+		{"QueueMCTelemetry/off", BenchQueueMCTelemetryOff},
+		{"QueueMCTelemetry/on", BenchQueueMCTelemetryOn},
+		{"DHPathTelemetry/off", BenchDHPathTelemetryOff},
+		{"DHPathTelemetry/on", BenchDHPathTelemetryOn},
 	}
 }
 

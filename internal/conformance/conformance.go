@@ -151,18 +151,36 @@ type Report struct {
 	Results  []Result `json:"results"`
 }
 
+// Hooks observe a suite run for progress reporting. Hooks never influence
+// check execution or results; a zero Hooks is valid and free.
+type Hooks struct {
+	// CheckStart fires before a check runs. index counts from 0 of total.
+	CheckStart func(index, total int, name string)
+	// CheckDone fires after a check completes with its full result.
+	CheckDone func(index, total int, res Result)
+}
+
 // RunSuite executes the checks sequentially (deterministic plan-cache
 // warmup order) and aggregates the report.
 func RunSuite(ctx context.Context, checks []Check, cfg Config) Report {
+	return RunSuiteHooks(ctx, checks, cfg, Hooks{})
+}
+
+// RunSuiteHooks is RunSuite with per-check progress callbacks.
+func RunSuiteHooks(ctx context.Context, checks []Check, cfg Config, hooks Hooks) Report {
 	rep := Report{Mode: cfg.Mode(), Seed: cfg.Seed, Passed: true}
 	suiteStart := time.Now()
-	for _, c := range checks {
+	total := len(checks)
+	for i, c := range checks {
 		if ctx.Err() != nil {
 			r := Result{Name: c.Name(), Family: c.Family()}
 			rep.Results = append(rep.Results, r.fail(ctx.Err()))
 			rep.Passed = false
 			rep.Failed++
 			continue
+		}
+		if hooks.CheckStart != nil {
+			hooks.CheckStart(i, total, c.Name())
 		}
 		start := time.Now()
 		r := c.Run(ctx, cfg)
@@ -172,6 +190,9 @@ func RunSuite(ctx context.Context, checks []Check, cfg Config) Report {
 		if !r.Passed {
 			rep.Passed = false
 			rep.Failed++
+		}
+		if hooks.CheckDone != nil {
+			hooks.CheckDone(i, total, r)
 		}
 	}
 	rep.Duration = time.Since(suiteStart).Seconds()

@@ -28,6 +28,7 @@ import (
 	"vbrsim/internal/dist"
 	"vbrsim/internal/hosking"
 	"vbrsim/internal/hurst"
+	"vbrsim/internal/obs"
 	"vbrsim/internal/rng"
 	"vbrsim/internal/stats"
 	"vbrsim/internal/trace"
@@ -128,10 +129,13 @@ func FitCtx(ctx context.Context, sizes []float64, opt FitOptions) (*Model, error
 	}
 
 	m := &Model{}
+	tr := obs.TracerFrom(ctx)
 
 	// Step 1: Hurst estimation (variance-time + R/S, averaged as the paper
 	// does).
+	span := tr.Start("fit.hurst")
 	h, vt, rs, err := hurst.Combined(sizes)
+	span.End(map[string]any{"frames": len(sizes), "h": h})
 	if err != nil {
 		return nil, fmt.Errorf("core: step 1 (Hurst): %w", err)
 	}
@@ -145,6 +149,7 @@ func FitCtx(ctx context.Context, sizes []float64, opt FitOptions) (*Model, error
 
 	// Step 2: composite ACF fit with beta pinned to the Hurst estimate
 	// (beta = 2 - 2H) unless FreeBeta.
+	span = tr.Start("fit.acf")
 	empACF := acfOf(sizes, opt.MaxLag)
 	fitOpt := acf.FitOptions{Knee: opt.Knee}
 	if !opt.FreeBeta {
@@ -155,6 +160,7 @@ func FitCtx(ctx context.Context, sizes []float64, opt FitOptions) (*Model, error
 	} else {
 		m.Foreground, err = acf.FitComposite(empACF, fitOpt)
 	}
+	span.End(map[string]any{"lags": len(empACF) - 1, "knee": m.Foreground.Knee})
 	if err != nil {
 		return nil, fmt.Errorf(
 			"core: step 2 (ACF fit): %w (the ACF stayed positive only up to lag %d — the record may be too short to show its long-range dependence; try a longer trace)",
@@ -186,10 +192,16 @@ func FitCtx(ctx context.Context, sizes []float64, opt FitOptions) (*Model, error
 	if err != nil {
 		return nil, fmt.Errorf("core: step 3 (attenuation plan): %w", err)
 	}
+	span = tr.Start("fit.attenuation")
 	m.Attenuation, err = transform.MeasureCtx(ctx, plan, m.Transform, planLen, transform.MeasureOptions{
 		Lags:         lags,
 		Replications: opt.AttenuationReps,
 		Seed:         opt.Seed + 0x5eed,
+	})
+	span.End(map[string]any{
+		"replications": opt.AttenuationReps,
+		"plan_len":     planLen,
+		"attenuation":  m.Attenuation,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: step 3 (attenuation): %w", err)
@@ -237,6 +249,12 @@ func (m *Model) MeanRate() float64 { return m.Marginal.Mean() }
 // back instead of re-running the O(n^2) recursion.
 func (m *Model) Plan(n int) (*hosking.Plan, error) {
 	return hosking.CachedPlan(m.Background, n)
+}
+
+// PlanCtx is Plan with cancellation and tracing threaded through the shared
+// cache (a tracer attached to ctx records the plan.acquire span).
+func (m *Model) PlanCtx(ctx context.Context, n int) (*hosking.Plan, error) {
+	return hosking.CachedPlanCtx(ctx, m.Background, n)
 }
 
 // TruncatedPlan builds the truncated-AR(p) fast generation view for paths

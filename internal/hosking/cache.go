@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"vbrsim/internal/acf"
+	"vbrsim/internal/obs"
 )
 
 // DefaultCacheCap is the eviction cap of the shared cache: the number of
@@ -189,6 +190,30 @@ func (c *PlanCache) Get(model acf.Model, n int) (*Plan, error) {
 // requests for the same plan (failed entries are dropped before waiters are
 // released, so the retry starts a fresh build).
 func (c *PlanCache) GetCtx(ctx context.Context, model acf.Model, n int) (*Plan, error) {
+	// A span only when a tracer rides the context: the delta of the cache
+	// counters across the call tells hit from miss from singleflight wait
+	// without touching the lookup paths themselves.
+	if tr := obs.TracerFrom(ctx); tr != nil {
+		before := c.Stats()
+		span := tr.Start("plan.acquire")
+		plan, err := c.getRetry(ctx, model, n)
+		after := c.Stats()
+		attrs := map[string]any{
+			"n":                  n,
+			"hits":               after.Hits - before.Hits,
+			"misses":             after.Misses - before.Misses,
+			"singleflight_waits": after.SingleflightWaits - before.SingleflightWaits,
+		}
+		if err != nil {
+			attrs["error"] = err.Error()
+		}
+		span.End(attrs)
+		return plan, err
+	}
+	return c.getRetry(ctx, model, n)
+}
+
+func (c *PlanCache) getRetry(ctx context.Context, model acf.Model, n int) (*Plan, error) {
 	plan, err := c.get(ctx, model, n)
 	if err != nil && isContextErr(err) && ctx.Err() == nil {
 		plan, err = c.get(ctx, model, n)

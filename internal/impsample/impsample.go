@@ -29,6 +29,7 @@ import (
 	"math"
 
 	"vbrsim/internal/hosking"
+	"vbrsim/internal/obs"
 	"vbrsim/internal/par"
 	"vbrsim/internal/queue"
 	"vbrsim/internal/rng"
@@ -98,6 +99,16 @@ type Config struct {
 	Mode Mode
 	// InitialOccupancy is Q_0 for ModeLindley.
 	InitialOccupancy float64
+	// Progress, when non-nil, receives periodic convergence snapshots
+	// (running weighted p, StdErr, normalized variance, the IS-vs-MC
+	// variance ratio, reps/sec) as replications complete. The snapshot
+	// accumulators run in completion order and are fully separate from the
+	// rep-indexed weights reduced for the final Result, so enabling
+	// progress never changes the estimate.
+	Progress func(obs.Convergence)
+	// ProgressEvery is the snapshot period in replications; <= 0 means
+	// max(1, Replications/32).
+	ProgressEvery int
 }
 
 // gen returns the active conditional-law source (FastPlan wins over Plan),
@@ -160,13 +171,27 @@ func EstimateCtx(ctx context.Context, cfg Config) (queue.Result, error) {
 	weights := make([]float64, reps)
 	hitFlags := make([]bool, reps)
 	bufs := make([][]float64, workers)
-	if err := par.ForCtx(ctx, workers, reps, func(w, i int) error {
+	var meter *obs.Meter
+	if cfg.Progress != nil {
+		meter = obs.NewMeter("is", reps, cfg.ProgressEvery, cfg.Progress)
+	}
+	span := obs.TracerFrom(ctx).Start("impsample.estimate")
+	err := par.ForCtx(ctx, workers, reps, func(w, i int) error {
 		if bufs[w] == nil {
 			bufs[w] = make([]float64, cfg.Horizon)
 		}
 		weights[i], hitFlags[i] = replicate(&cfg, sources[i], bufs[w])
+		meter.Add(weights[i], hitFlags[i])
 		return nil
-	}); err != nil {
+	})
+	meter.Finish()
+	span.End(map[string]any{
+		"replications": reps,
+		"workers":      workers,
+		"horizon":      cfg.Horizon,
+		"twist":        cfg.Twist,
+	})
+	if err != nil {
 		return queue.Result{}, err
 	}
 	var sum, sumSq float64
@@ -303,13 +328,31 @@ func EstimateTransientCtx(ctx context.Context, cfg Config, checkpoints []int) ([
 	// weights[i*nc+j] is replication i's weighted indicator at checkpoint j.
 	weights := make([]float64, reps*nc)
 	bufs := make([][]float64, workers)
-	if err := par.ForCtx(ctx, workers, reps, func(w, i int) error {
+	// Progress tracks the final checkpoint, the longest-horizon (and
+	// slowest-converging) estimate of the sweep.
+	var meter *obs.Meter
+	if cfg.Progress != nil {
+		meter = obs.NewMeter("is-transient", reps, cfg.ProgressEvery, cfg.Progress)
+	}
+	span := obs.TracerFrom(ctx).Start("impsample.transient")
+	err := par.ForCtx(ctx, workers, reps, func(w, i int) error {
 		if bufs[w] == nil {
 			bufs[w] = make([]float64, horizon)
 		}
-		transientReplicate(&cfg, sources[i], bufs[w], checkpoints, weights[i*nc:(i+1)*nc])
+		out := weights[i*nc : (i+1)*nc]
+		transientReplicate(&cfg, sources[i], bufs[w], checkpoints, out)
+		meter.Add(out[nc-1], out[nc-1] > 0)
 		return nil
-	}); err != nil {
+	})
+	meter.Finish()
+	span.End(map[string]any{
+		"replications": reps,
+		"workers":      workers,
+		"horizon":      horizon,
+		"checkpoints":  nc,
+		"twist":        cfg.Twist,
+	})
+	if err != nil {
 		return nil, err
 	}
 

@@ -1,0 +1,95 @@
+package impsample
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"vbrsim/internal/obs"
+)
+
+// TestProgressDeterminismNeutral checks the tentpole invariant: IS results
+// are bit-identical with convergence telemetry and tracing on or off.
+func TestProgressDeterminismNeutral(t *testing.T) {
+	plan, h := testSetup(t, 100)
+	base := Config{
+		Plan: plan, Transform: h,
+		Service: 1.6, Buffer: 6, Horizon: 100,
+		Twist: 0.8, Replications: 800, Seed: 7, Workers: 4,
+	}
+	plain, err := Estimate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snaps []obs.Convergence
+	instrumented := base
+	instrumented.Progress = func(c obs.Convergence) { snaps = append(snaps, c) }
+	instrumented.ProgressEvery = 100
+	var trace strings.Builder
+	ctx := obs.ContextWithTracer(context.Background(), obs.NewTracer(&trace))
+	got, err := EstimateCtx(ctx, instrumented)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Float64bits(got.P) != math.Float64bits(plain.P) ||
+		math.Float64bits(got.Variance) != math.Float64bits(plain.Variance) ||
+		math.Float64bits(got.NormVar) != math.Float64bits(plain.NormVar) ||
+		got.Hits != plain.Hits {
+		t.Fatalf("telemetry changed estimate: %+v vs %+v", got, plain)
+	}
+
+	if len(snaps) != 8 {
+		t.Fatalf("got %d snapshots, want 8", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.Completed != 800 || last.Estimator != "is" || last.Hits != plain.Hits {
+		t.Fatalf("last snapshot = %+v (want hits %d)", last, plain.Hits)
+	}
+	// All replications folded in: the running p equals the estimate up to
+	// summation order (weights are added in completion order here).
+	if plain.P > 0 && math.Abs(last.P-plain.P)/plain.P > 1e-9 {
+		t.Fatalf("final snapshot p = %v, estimate = %v", last.P, plain.P)
+	}
+	if !strings.Contains(trace.String(), `"stage":"impsample.estimate"`) {
+		t.Fatalf("trace missing estimate span:\n%s", trace.String())
+	}
+}
+
+// TestTransientProgress checks the transient sweep streams snapshots for
+// its final checkpoint without changing results.
+func TestTransientProgress(t *testing.T) {
+	plan, h := testSetup(t, 120)
+	base := Config{
+		Plan: plan, Transform: h,
+		Service: 1.6, Buffer: 4,
+		Twist: 0.5, Replications: 300, Seed: 3, Workers: 3,
+	}
+	checkpoints := []int{40, 80, 120}
+	plain, err := EstimateTransient(base, checkpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snaps []obs.Convergence
+	instrumented := base
+	instrumented.Progress = func(c obs.Convergence) { snaps = append(snaps, c) }
+	instrumented.ProgressEvery = 100
+	got, err := EstimateTransient(instrumented, checkpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range plain {
+		if math.Float64bits(got[j].P) != math.Float64bits(plain[j].P) {
+			t.Fatalf("checkpoint %d changed: %v vs %v", j, got[j].P, plain[j].P)
+		}
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(snaps))
+	}
+	if snaps[len(snaps)-1].Estimator != "is-transient" {
+		t.Fatalf("estimator = %q", snaps[len(snaps)-1].Estimator)
+	}
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MetricFamily is one parsed family from a text exposition: its metadata
+// plus every sample line that belongs to it.
+type MetricFamily struct {
+	Name    string
+	Help    string
+	Type    string // counter | gauge | summary | histogram | untyped
+	Samples []Sample
+}
+
+// Sample is one parsed sample line.
+type Sample struct {
+	Name   string // full sample name including _sum/_count/_bucket suffix
+	Labels string // raw label block including braces, or ""
+	Value  float64
+}
+
+// ParseExposition parses and lints Prometheus text exposition format
+// (version 0.0.4). Beyond parsing, it enforces the lint rules the
+// exposition tests rely on: at most one HELP and one TYPE per family, TYPE
+// before that family's samples, no duplicate sample lines, and valid
+// float values. Sample names with _sum/_count/_bucket suffixes are folded
+// into their summary/histogram family.
+func ParseExposition(r io.Reader) (map[string]*MetricFamily, error) {
+	fams := make(map[string]*MetricFamily)
+	seenSamples := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseMeta(line, fams); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		key := s.Name + s.Labels
+		if seenSamples[key] {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		seenSamples[key] = true
+		fam := familyFor(fams, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding # TYPE line", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// parseMeta handles "# HELP name text" and "# TYPE name type" comment lines.
+func parseMeta(line string, fams map[string]*MetricFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return nil // free-form comment: legal, ignored
+	}
+	name := fields[2]
+	switch fields[1] {
+	case "HELP":
+		f := fams[name]
+		if f == nil {
+			f = &MetricFamily{Name: name, Type: "untyped"}
+			fams[name] = f
+		}
+		if f.Help != "" {
+			return fmt.Errorf("duplicate HELP for %s", name)
+		}
+		if len(fields) < 4 || fields[3] == "" {
+			return fmt.Errorf("empty HELP for %s", name)
+		}
+		f.Help = fields[3]
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("missing type for %s", name)
+		}
+		typ := fields[3]
+		switch typ {
+		case "counter", "gauge", "summary", "histogram", "untyped":
+		default:
+			return fmt.Errorf("unknown type %q for %s", typ, name)
+		}
+		f := fams[name]
+		if f == nil {
+			f = &MetricFamily{Name: name, Type: "untyped"}
+			fams[name] = f
+		}
+		if f.Type != "untyped" {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		f.Type = typ
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return s, fmt.Errorf("malformed label block in %q", line)
+		}
+		s.Name = rest[:i]
+		s.Labels = rest[i : j+1]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("malformed sample line %q", line)
+		}
+		s.Name = fields[0]
+		rest = strings.TrimSpace(fields[1])
+	}
+	// A timestamp may trail the value; we only emit value-only lines but
+	// accept the full grammar.
+	valField := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		valField = rest[:i]
+	}
+	v, err := strconv.ParseFloat(valField, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", valField, err)
+	}
+	s.Value = v
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	return s, nil
+}
+
+// familyFor resolves a sample name to its family, folding the summary and
+// histogram component suffixes onto the base family when one is declared.
+func familyFor(fams map[string]*MetricFamily, sampleName string) *MetricFamily {
+	if f, ok := fams[sampleName]; ok {
+		return f
+	}
+	for _, suf := range []string{"_sum", "_count", "_bucket"} {
+		if base, ok := strings.CutSuffix(sampleName, suf); ok {
+			if f, ok := fams[base]; ok && (f.Type == "summary" || f.Type == "histogram") {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// Lint applies family-level checks that need the whole exposition: every
+// family must carry HELP and a concrete TYPE, and histogram families must
+// end in a +Inf bucket. Returns all problems found.
+func Lint(fams map[string]*MetricFamily) []string {
+	var probs []string
+	for name, f := range fams {
+		if f.Help == "" {
+			probs = append(probs, name+": missing HELP")
+		}
+		if f.Type == "untyped" {
+			probs = append(probs, name+": missing TYPE")
+		}
+		if f.Type == "histogram" {
+			hasInf := false
+			for _, s := range f.Samples {
+				if strings.HasSuffix(s.Name, "_bucket") && strings.Contains(s.Labels, `le="+Inf"`) {
+					hasInf = true
+				}
+			}
+			if !hasInf {
+				probs = append(probs, name+": histogram missing +Inf bucket")
+			}
+		}
+	}
+	return probs
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Manifest is the run-manifest artifact a CLI writes after a run: enough
+// to reproduce it (tool, args, seed), see where the time went (stage
+// spans), and read the outcome (estimator results, final metric values)
+// without re-running anything.
+type Manifest struct {
+	Tool            string           `json:"tool"`
+	Args            []string         `json:"args"`
+	Seed            int64            `json:"seed"`
+	GoVersion       string           `json:"go_version"`
+	Start           time.Time        `json:"start"`
+	DurationSeconds float64          `json:"duration_seconds"`
+	Stages          []SpanRecord     `json:"stages"`
+	Events          []map[string]any `json:"events,omitempty"`
+	Results         map[string]any   `json:"results,omitempty"`
+	Metrics         map[string]any   `json:"metrics,omitempty"`
+}
+
+// Manifest rolls the tracer's spans and events up into a Manifest. The
+// registry snapshot (pass nil to omit) captures the process counters at
+// the moment of writing — for a CLI that is effectively "this run".
+func (t *Tracer) Manifest(tool string, args []string, seed int64, results map[string]any, reg *Registry) Manifest {
+	m := Manifest{
+		Tool:      tool,
+		Args:      args,
+		Seed:      seed,
+		GoVersion: runtime.Version(),
+		Results:   sanitizeAttrs(results),
+	}
+	if t != nil {
+		t.mu.Lock()
+		m.Start = t.start
+		m.DurationSeconds = time.Since(t.start).Seconds()
+		m.Stages = append([]SpanRecord(nil), t.spans...)
+		m.Events = append([]map[string]any(nil), t.events...)
+		t.mu.Unlock()
+	}
+	if reg != nil {
+		m.Metrics = reg.Snapshot()
+	}
+	return m
+}
+
+// WriteManifestFile writes m as indented JSON to path.
+func WriteManifestFile(path string, m Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

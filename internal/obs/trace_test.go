@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("fit")
+	sp.End(map[string]any{"k": 1}) // must not panic
+	tr.Event("par.run", nil)
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer spans = %v", got)
+	}
+	if TracerFrom(context.Background()) != nil {
+		t.Fatal("empty context should yield nil tracer")
+	}
+}
+
+func TestTracerStreamsNDJSON(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(&buf)
+	sp := tr.Start("plan")
+	_ = make([]float64, 4096) // guarantee a nonzero alloc delta
+	sp.End(map[string]any{"n": 4096, "hit": true})
+	tr.Event("par.run", map[string]any{"workers": 4})
+
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q not JSON: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d NDJSON lines, want 2", len(lines))
+	}
+	if lines[0]["type"] != "span" || lines[0]["stage"] != "plan" {
+		t.Fatalf("span line = %v", lines[0])
+	}
+	attrs := lines[0]["attrs"].(map[string]any)
+	if attrs["n"] != 4096.0 || attrs["hit"] != true {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	if lines[1]["type"] != "par.run" || lines[1]["workers"] != 4.0 {
+		t.Fatalf("event line = %v", lines[1])
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Stage != "plan" || spans[0].Seconds < 0 {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestTracerContextRoundTrip(t *testing.T) {
+	tr := NewTracer(nil)
+	ctx := ContextWithTracer(context.Background(), tr)
+	if TracerFrom(ctx) != tr {
+		t.Fatal("tracer did not round-trip through context")
+	}
+	// Collect-only tracer still records spans.
+	TracerFrom(ctx).Start("gen").End(nil)
+	if len(tr.Spans()) != 1 {
+		t.Fatalf("spans = %+v", tr.Spans())
+	}
+}
+
+func TestManifestRollup(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.Start("fit").End(map[string]any{"lags": 24})
+	tr.Start("queue").End(nil)
+	reg := NewRegistry()
+	reg.Counter("runs_total", "h").Inc()
+
+	m := tr.Manifest("qsim", []string{"-reps", "100"}, 42,
+		map[string]any{"p": 1e-6}, reg)
+	if m.Tool != "qsim" || m.Seed != 42 || len(m.Stages) != 2 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if m.Stages[0].Stage != "fit" || m.Stages[1].Stage != "queue" {
+		t.Fatalf("stage order = %+v", m.Stages)
+	}
+	if m.Metrics["runs_total"] != 1.0 {
+		t.Fatalf("metrics snapshot = %v", m.Metrics)
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("manifest not JSON-encodable: %v", err)
+	}
+	if !strings.Contains(string(b), `"stages"`) {
+		t.Fatalf("manifest JSON missing stages: %s", b)
+	}
+}

@@ -46,6 +46,10 @@ func For(workers, n int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
+	if observer.Load() != nil {
+		notifyObserver(instrumentedFor(workers, n, fn))
+		return
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(0, i)
@@ -84,6 +88,11 @@ func ForCtx(ctx context.Context, workers, n int, fn func(worker, i int) error) e
 	}
 	if workers > n {
 		workers = n
+	}
+	if observer.Load() != nil {
+		st, err := instrumentedForCtx(ctx, workers, n, fn)
+		notifyObserver(st)
+		return err
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {

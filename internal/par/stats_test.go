@@ -1,0 +1,132 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// fanOutFill computes a deterministic per-index value; any change in which
+// job index produces which slot value is a bit-level diff.
+func fanOutFill(p *Pool, n int) []uint64 {
+	out := make([]uint64, n)
+	p.For(n, func(_, i int) {
+		v := math.Sin(float64(i)*1.618) * math.Exp(float64(i%17))
+		out[i] = math.Float64bits(v)
+	})
+	return out
+}
+
+// TestPoolStatsBitIdentity is the satellite gate: enabling stats must not
+// change fan-out results for any worker count.
+func TestPoolStatsBitIdentity(t *testing.T) {
+	const n = 257 // odd length so chunks are ragged
+	for workers := 1; workers <= 8; workers++ {
+		plain := NewPool(workers)
+		want := fanOutFill(plain, n)
+
+		stats := NewPool(workers)
+		stats.EnableStats(true)
+		got := fanOutFill(stats, n)
+
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d differs with stats on: %x != %x",
+					workers, i, got[i], want[i])
+			}
+		}
+		st := stats.Stats()
+		if st.Tasks != n {
+			t.Fatalf("workers=%d: tasks = %d, want %d", workers, st.Tasks, n)
+		}
+		if st.Runs != 1 || st.PeakInFlight < 1 || st.PeakInFlight > workers {
+			t.Fatalf("workers=%d: stats = %+v", workers, st)
+		}
+		if len(st.Busy) != Workers(workers, n) {
+			t.Fatalf("workers=%d: busy slots = %d", workers, len(st.Busy))
+		}
+		if plain.Stats().Tasks != 0 {
+			t.Fatal("stats accumulated with collection disabled")
+		}
+	}
+}
+
+func TestPoolStatsAccumulate(t *testing.T) {
+	p := NewPool(4)
+	p.EnableStats(true)
+	p.For(100, func(_, _ int) {})
+	if err := p.ForCtx(context.Background(), 50, func(_, _ int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Runs != 2 || st.Tasks != 150 {
+		t.Fatalf("accumulated stats = %+v", st)
+	}
+	if st.BusyTotal() < 0 || st.Utilization() < 0 || st.Utilization() > 1.000001 {
+		t.Fatalf("derived stats out of range: busy=%v util=%v", st.BusyTotal(), st.Utilization())
+	}
+	p.Reset()
+	if p.Stats().Tasks != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+}
+
+func TestPoolForCtxErrorWithStats(t *testing.T) {
+	p := NewPool(4)
+	p.EnableStats(true)
+	boom := errors.New("boom")
+	err := p.ForCtx(context.Background(), 100, func(_, i int) error {
+		if i == 31 || i == 77 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestObserverReceivesRunStats checks the global observer hook fires for
+// the package-level helpers and that results stay identical while it is
+// installed. Not parallel: the observer is process-wide.
+func TestObserverReceivesRunStats(t *testing.T) {
+	const n = 64
+	base := make([]uint64, n)
+	For(4, n, func(_, i int) { base[i] = math.Float64bits(math.Cos(float64(i))) })
+
+	var runs []RunStats
+	SetObserver(func(st RunStats) { runs = append(runs, st) })
+	defer SetObserver(nil)
+
+	got := make([]uint64, n)
+	For(4, n, func(_, i int) { got[i] = math.Float64bits(math.Cos(float64(i))) })
+	if err := ForCtx(context.Background(), 2, n, func(_, _ int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range base {
+		if got[i] != base[i] {
+			t.Fatalf("index %d differs with observer installed", i)
+		}
+	}
+	if len(runs) != 2 {
+		t.Fatalf("observer saw %d runs, want 2", len(runs))
+	}
+	if runs[0].Tasks != n || runs[0].Workers != 4 {
+		t.Fatalf("first run stats = %+v", runs[0])
+	}
+	if runs[1].Workers != 2 {
+		t.Fatalf("second run stats = %+v", runs[1])
+	}
+}
+
+func TestObserverInlinePath(t *testing.T) {
+	var got *RunStats
+	SetObserver(func(st RunStats) { got = &st })
+	defer SetObserver(nil)
+	For(1, 10, func(_, _ int) {})
+	if got == nil || got.Workers != 1 || got.Tasks != 10 || got.PeakInFlight != 1 {
+		t.Fatalf("inline run stats = %+v", got)
+	}
+}

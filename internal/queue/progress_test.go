@@ -1,0 +1,54 @@
+package queue
+
+import (
+	"math"
+	"testing"
+
+	"vbrsim/internal/obs"
+)
+
+// TestProgressDeterminismNeutral is the tentpole gate for this package:
+// enabling convergence telemetry must leave the estimate bit-identical.
+func TestProgressDeterminismNeutral(t *testing.T) {
+	src := iidSource{mean: 1}
+	base := MCOptions{Replications: 500, Seed: 9, Workers: 4}
+	plain, err := EstimateOverflow(src, 1.25, 10, 100, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snaps []obs.Convergence
+	instrumented := base
+	instrumented.Progress = func(c obs.Convergence) { snaps = append(snaps, c) }
+	instrumented.ProgressEvery = 50
+	got, err := EstimateOverflow(src, 1.25, 10, 100, instrumented)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Float64bits(got.P) != math.Float64bits(plain.P) ||
+		math.Float64bits(got.Variance) != math.Float64bits(plain.Variance) ||
+		math.Float64bits(got.StdErr) != math.Float64bits(plain.StdErr) ||
+		got.Hits != plain.Hits {
+		t.Fatalf("progress changed estimate: %+v vs %+v", got, plain)
+	}
+
+	if len(snaps) != 10 {
+		t.Fatalf("got %d snapshots, want 10", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.Completed != 500 || last.Estimator != "mc" {
+		t.Fatalf("last snapshot = %+v", last)
+	}
+	// The final snapshot saw every replication, so its running p must
+	// match the estimate exactly (indicator weights sum identically in
+	// any order).
+	if last.P != plain.P || last.Hits != plain.Hits {
+		t.Fatalf("final snapshot p = %v hits = %d, want %v / %d",
+			last.P, last.Hits, plain.P, plain.Hits)
+	}
+	// MC's variance ratio against itself is 1 by construction.
+	if plain.Hits > 0 && math.Abs(last.VarianceRatio-1) > 1e-9 {
+		t.Fatalf("MC variance ratio = %v, want 1", last.VarianceRatio)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"math"
 
+	"vbrsim/internal/obs"
 	"vbrsim/internal/par"
 	"vbrsim/internal/rng"
 )
@@ -139,6 +140,15 @@ type MCOptions struct {
 	Seed uint64
 	// InitialOccupancy is Q_0; default 0 (empty buffer).
 	InitialOccupancy float64
+	// Progress, when non-nil, receives periodic convergence snapshots
+	// (running p, StdErr, normalized variance, reps/sec) as replications
+	// complete. Snapshots accumulate in completion order, entirely apart
+	// from the per-worker hit counters that produce the returned Result,
+	// so enabling progress never changes the estimate.
+	Progress func(obs.Convergence)
+	// ProgressEvery is the snapshot period in replications; <= 0 means
+	// max(1, Replications/32).
+	ProgressEvery int
 }
 
 // EstimateOverflow estimates P(Q_k > b) by plain Monte Carlo: each
@@ -180,6 +190,11 @@ func EstimateOverflowCtx(ctx context.Context, src PathSource, service, b float64
 		hits int
 	}
 	arenas := make([]arena, workers)
+	var meter *obs.Meter
+	if opt.Progress != nil {
+		meter = obs.NewMeter("mc", opt.Replications, opt.ProgressEvery, opt.Progress)
+	}
+	span := obs.TracerFrom(ctx).Start("queue.mc")
 	err := par.ForCtx(ctx, workers, opt.Replications, func(w, i int) error {
 		ar := &arenas[w]
 		var path []float64
@@ -192,10 +207,24 @@ func EstimateOverflowCtx(ctx context.Context, src PathSource, service, b float64
 		} else {
 			path = src.ArrivalPath(sources[i], k)
 		}
-		if FinalOccupancy(opt.InitialOccupancy, path, service) > b {
+		hit := FinalOccupancy(opt.InitialOccupancy, path, service) > b
+		if hit {
 			ar.hits++
 		}
+		if meter != nil {
+			if hit {
+				meter.Add(1, true)
+			} else {
+				meter.Add(0, false)
+			}
+		}
 		return nil
+	})
+	meter.Finish()
+	span.End(map[string]any{
+		"replications": opt.Replications,
+		"workers":      workers,
+		"horizon":      k,
 	})
 	if err != nil {
 		return Result{}, err

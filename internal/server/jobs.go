@@ -197,7 +197,7 @@ func (p *jobPool) worker(ctx context.Context) {
 		req := js.req
 		js.mu.Unlock()
 
-		result, err := runJob(ctx, req)
+		result, err := runJob(ctx, req, p.s.metrics)
 		secs := time.Since(start).Seconds()
 		if err != nil {
 			js.fail(err)
@@ -225,7 +225,7 @@ func (js *jobState) fail(err error) {
 
 // runJob executes one job under the pool's context; cancellation propagates
 // into the fit's attenuation replications and the estimators' worker loops.
-func runJob(ctx context.Context, req JobRequest) (any, error) {
+func runJob(ctx context.Context, req JobRequest, mt *metrics) (any, error) {
 	switch req.Kind {
 	case "fit":
 		m, err := core.FitCtx(ctx, req.Trace, core.FitOptions{Seed: req.Seed})
@@ -235,12 +235,12 @@ func runJob(ctx context.Context, req JobRequest) (any, error) {
 		spec := modelspec.FromModel(m, "fitted", req.Seed)
 		return &spec, nil
 	case "qsim-mc", "qsim-is":
-		return runQsim(ctx, req)
+		return runQsim(ctx, req, mt)
 	}
 	return nil, fmt.Errorf("unknown job kind %q", req.Kind)
 }
 
-func runQsim(ctx context.Context, req JobRequest) (any, error) {
+func runQsim(ctx context.Context, req JobRequest, mt *metrics) (any, error) {
 	if req.Spec == nil {
 		return nil, errors.New("qsim job needs a spec")
 	}
@@ -279,7 +279,8 @@ func runQsim(ctx context.Context, req JobRequest) (any, error) {
 	if req.Kind == "qsim-mc" {
 		src := core.ArrivalSource{Fast: trunc, Transform: tr}
 		res, err := queue.EstimateOverflowCtx(ctx, src, service, bufAbs, horizon,
-			queue.MCOptions{Replications: reps, Seed: req.Seed})
+			queue.MCOptions{Replications: reps, Seed: req.Seed,
+				Progress: mt.observeEstimator})
 		if err != nil {
 			return nil, err
 		}
@@ -294,6 +295,7 @@ func runQsim(ctx context.Context, req JobRequest) (any, error) {
 		FastPlan: trunc, Transform: tr,
 		Service: service, Buffer: bufAbs, Horizon: horizon,
 		Twist: twist, Replications: reps, Seed: req.Seed,
+		Progress: mt.observeEstimator,
 	})
 	if err != nil {
 		return nil, err
@@ -318,7 +320,7 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	js, err := s.jobs.submit(req)
 	if err != nil {
-		s.metrics.jobsRejected.Add(1)
+		s.metrics.jobsRejected.With(req.Kind).Inc()
 		switch {
 		case errors.Is(err, errDraining):
 			httpError(w, http.StatusServiceUnavailable, err)

@@ -1,95 +1,130 @@
 package server
 
 import (
-	"fmt"
-	"net/http"
-	"sort"
-	"sync"
-	"sync/atomic"
+	"math"
 
 	"vbrsim/internal/hosking"
+	"vbrsim/internal/obs"
+	"vbrsim/internal/par"
 )
 
-// metrics is the daemon's dependency-free counter registry, rendered in
-// Prometheus text exposition format by serveMetrics. Counters are atomics;
-// the per-kind job histograms-in-miniature (sum + count) sit under a mutex
-// because they are touched once per job, not per frame.
+// metrics binds the daemon's instruments to an obs.Registry. All metric
+// names are documented in DESIGN.md §7/§9; keep the two in sync — the
+// exposition test and the ci.sh scrape gate parse the rendered output and
+// check every documented name.
 type metrics struct {
-	sessionsActive  atomic.Int64
-	sessionsTotal   atomic.Uint64
-	streamsRejected atomic.Uint64
-	framesStreamed  atomic.Uint64
-	jobsRejected    atomic.Uint64
+	reg *obs.Registry
 
-	mu   sync.Mutex
-	jobs map[string]*jobKindStats
+	sessionsActive  *obs.Gauge
+	sessionsTotal   *obs.Counter
+	streamsRejected *obs.Counter
+	framesStreamed  *obs.Counter
+	streamFrames    *obs.Histogram
+
+	jobDuration  *obs.SummaryVec // kind, status=ok|failed
+	jobsFailed   *obs.CounterVec // kind
+	jobsRejected *obs.CounterVec // kind
+
+	estCompleted *obs.Gauge
+	estP         *obs.Gauge
+	estStdErr    *obs.Gauge
+	estNormVar   *obs.Gauge
+	estVarRatio  *obs.Gauge
+	estRepsPS    *obs.Gauge
+
+	parRuns  *obs.Counter
+	parTasks *obs.Counter
+	parBusy  *obs.Counter
+	parPeak  *obs.Gauge
+	parUtil  *obs.Gauge
 }
 
-type jobKindStats struct {
-	completed   uint64
-	failed      uint64
-	durationSum float64 // seconds, completed jobs only
-}
-
-func newMetrics() *metrics {
-	return &metrics{jobs: make(map[string]*jobKindStats)}
-}
-
-func (m *metrics) jobDone(kind string, seconds float64, failed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := m.jobs[kind]
-	if s == nil {
-		s = &jobKindStats{}
-		m.jobs[kind] = s
+// newMetrics registers the daemon's instruments on reg and exposes the
+// shared plan cache's counters there as well.
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{
+		reg: reg,
+		sessionsActive: reg.Gauge("vbrsim_sessions_active",
+			"Streaming sessions currently open."),
+		sessionsTotal: reg.Counter("vbrsim_sessions_total",
+			"Streaming sessions created since start."),
+		streamsRejected: reg.Counter("vbrsim_streams_rejected_total",
+			"Stream creations rejected (session cap or drain)."),
+		framesStreamed: reg.Counter("vbrsim_frames_streamed_total",
+			"Frames written to stream responses."),
+		streamFrames: reg.Histogram("vbrsim_stream_request_frames",
+			"Frames requested per stream read.",
+			[]float64{64, 256, 1024, 4096, 16384, 65536, 262144}),
+		jobDuration: reg.SummaryVec("vbrsim_job_duration_seconds",
+			"Wall time of finished jobs by kind and status (ok|failed).",
+			"kind", "status"),
+		jobsFailed: reg.CounterVec("vbrsim_jobs_failed_total",
+			"Jobs that finished with an error, by kind.", "kind"),
+		jobsRejected: reg.CounterVec("vbrsim_jobs_rejected_total",
+			"Job submissions rejected (queue full or drain), by kind.", "kind"),
+		estCompleted: reg.Gauge("vbrsim_estimator_completed",
+			"Replications folded into the latest estimator snapshot."),
+		estP: reg.Gauge("vbrsim_estimator_p",
+			"Running overflow-probability estimate of the latest estimator run."),
+		estStdErr: reg.Gauge("vbrsim_estimator_std_err",
+			"Running standard error of the latest estimator run."),
+		estNormVar: reg.Gauge("vbrsim_estimator_norm_var",
+			"Running normalized variance (variance/p^2) of the latest estimator run."),
+		estVarRatio: reg.Gauge("vbrsim_estimator_variance_ratio",
+			"IS-vs-MC variance ratio of the latest estimator run (1 for plain MC)."),
+		estRepsPS: reg.Gauge("vbrsim_estimator_reps_per_sec",
+			"Replication throughput of the latest estimator run."),
+		parRuns: reg.Counter("vbrsim_par_runs_total",
+			"Worker-pool fan-out runs observed."),
+		parTasks: reg.Counter("vbrsim_par_tasks_total",
+			"Tasks executed across observed fan-out runs."),
+		parBusy: reg.Counter("vbrsim_par_busy_seconds_total",
+			"Summed worker busy time across observed fan-out runs."),
+		parPeak: reg.Gauge("vbrsim_par_peak_in_flight",
+			"Peak concurrently running workers in the latest fan-out run."),
+		parUtil: reg.Gauge("vbrsim_par_utilization",
+			"Worker utilization (busy/(wall*workers)) of the latest fan-out run."),
 	}
+	hosking.Shared.RegisterMetrics(reg)
+	return m
+}
+
+// jobDone records a finished job's wall time. Failed jobs land in the
+// status="failed" duration series (they consume worker time too) and bump
+// the per-kind failure counter.
+func (m *metrics) jobDone(kind string, seconds float64, failed bool) {
+	status := "ok"
 	if failed {
-		s.failed++
+		status = "failed"
+		m.jobsFailed.With(kind).Inc()
+	}
+	m.jobDuration.Observe(seconds, kind, status)
+}
+
+// observeEstimator exports a convergence snapshot as the estimator gauges.
+// Non-finite values (p=0 early in a rare-event run) are skipped so the
+// exposition never carries +Inf from a half-converged run.
+func (m *metrics) observeEstimator(c obs.Convergence) {
+	m.estCompleted.Set(float64(c.Completed))
+	setFinite(m.estP, c.P)
+	setFinite(m.estStdErr, c.StdErr)
+	setFinite(m.estNormVar, c.NormVar)
+	setFinite(m.estVarRatio, c.VarianceRatio)
+	m.estRepsPS.Set(c.RepsPerSec)
+}
+
+func setFinite(g *obs.Gauge, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
-	s.completed++
-	s.durationSum += seconds
+	g.Set(v)
 }
 
-// serveMetrics renders the registry plus the process-wide plan-cache
-// counters. Names are documented in DESIGN.md; keep the two in sync.
-func (m *metrics) serveMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-
-	gauge("vbrsim_sessions_active", "Streaming sessions currently open.", m.sessionsActive.Load())
-	counter("vbrsim_sessions_total", "Streaming sessions created since start.", m.sessionsTotal.Load())
-	counter("vbrsim_streams_rejected_total", "Stream creations rejected (session cap or drain).", m.streamsRejected.Load())
-	counter("vbrsim_frames_streamed_total", "Frames written to stream responses.", m.framesStreamed.Load())
-	counter("vbrsim_jobs_rejected_total", "Job submissions rejected (queue full or drain).", m.jobsRejected.Load())
-
-	m.mu.Lock()
-	kinds := make([]string, 0, len(m.jobs))
-	for k := range m.jobs {
-		kinds = append(kinds, k)
-	}
-	sort.Strings(kinds)
-	fmt.Fprintf(w, "# HELP vbrsim_job_duration_seconds Wall time of completed jobs by kind.\n# TYPE vbrsim_job_duration_seconds summary\n")
-	for _, k := range kinds {
-		s := m.jobs[k]
-		fmt.Fprintf(w, "vbrsim_job_duration_seconds_sum{kind=%q} %g\n", k, s.durationSum)
-		fmt.Fprintf(w, "vbrsim_job_duration_seconds_count{kind=%q} %d\n", k, s.completed)
-	}
-	fmt.Fprintf(w, "# HELP vbrsim_jobs_failed_total Jobs that finished with an error, by kind.\n# TYPE vbrsim_jobs_failed_total counter\n")
-	for _, k := range kinds {
-		fmt.Fprintf(w, "vbrsim_jobs_failed_total{kind=%q} %d\n", k, m.jobs[k].failed)
-	}
-	m.mu.Unlock()
-
-	cs := hosking.Shared.Stats()
-	counter("vbrsim_plan_cache_hits_total", "Durbin-Levinson plan cache hits.", cs.Hits)
-	counter("vbrsim_plan_cache_misses_total", "Durbin-Levinson plan cache misses (builds).", cs.Misses)
-	counter("vbrsim_plan_cache_evictions_total", "Plans evicted from the cache.", cs.Evictions)
-	counter("vbrsim_plan_cache_singleflight_waits_total", "Lookups that waited on an in-flight build.", cs.SingleflightWaits)
+// observePar folds one worker-pool run into the par series.
+func (m *metrics) observePar(st par.RunStats) {
+	m.parRuns.Add(float64(st.Runs))
+	m.parTasks.Add(float64(st.Tasks))
+	m.parBusy.Add(st.BusyTotal().Seconds())
+	m.parPeak.Set(float64(st.PeakInFlight))
+	m.parUtil.Set(st.Utilization())
 }

@@ -30,6 +30,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"vbrsim/internal/obs"
+	"vbrsim/internal/par"
 )
 
 // Options configures the service.
@@ -51,6 +54,10 @@ type Options struct {
 	// MaxBodyBytes caps request bodies (specs can embed empirical samples,
 	// fit jobs whole traces). Default 64 MiB.
 	MaxBodyBytes int64
+	// Registry receives the server's metrics; nil creates a private
+	// registry (keeps tests isolated). trafficd passes obs.Default so the
+	// daemon and in-process CLI instrumentation share one registry.
+	Registry *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -102,17 +109,27 @@ type Server struct {
 // New builds a Server ready to serve.
 func New(opt Options) *Server {
 	opt.fill()
+	reg := opt.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		opt:      opt,
 		mux:      http.NewServeMux(),
-		metrics:  newMetrics(),
+		metrics:  newMetrics(reg),
 		sessions: make(map[string]*session),
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.jobs = newJobPool(s, opt.JobWorkers, opt.JobQueueDepth)
 
+	// Worker-pool runs (estimator fan-outs, DH batches) feed the par
+	// series. The observer is process-wide; with several Servers in one
+	// process the most recent wins, which is fine for the daemon (one
+	// Server) and harmless in tests.
+	par.SetObserver(s.metrics.observePar)
+
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.metrics.serveMetrics)
+	s.mux.Handle("GET /metrics", reg.Handler())
 	s.mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
 	s.mux.HandleFunc("GET /v1/streams", s.handleStreamList)
 	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamGet)
@@ -126,6 +143,9 @@ func New(opt Options) *Server {
 
 // ServeHTTP dispatches to the route table.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry returns the metrics registry this server reports through.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()

@@ -74,7 +74,7 @@ func (s *Server) addSession(ss *session) error {
 	ss.id = fmt.Sprintf("s%d", s.nextSession)
 	s.sessions[ss.id] = ss
 	s.metrics.sessionsActive.Add(1)
-	s.metrics.sessionsTotal.Add(1)
+	s.metrics.sessionsTotal.Inc()
 	return nil
 }
 
@@ -142,7 +142,7 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	ss := &session{name: name, seed: spec.Seed, created: time.Now(), stream: stream}
 	if err := s.addSession(ss); err != nil {
-		s.metrics.streamsRejected.Add(1)
+		s.metrics.streamsRejected.Inc()
 		code := http.StatusTooManyRequests
 		if errors.Is(err, errDraining) {
 			code = http.StatusServiceUnavailable
@@ -248,6 +248,7 @@ func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Stream-Start", strconv.Itoa(start))
 	w.Header().Set("X-Stream-Seed", strconv.FormatUint(ss.seed, 10))
 	flusher, _ := w.(http.Flusher)
+	s.metrics.streamFrames.Observe(float64(n))
 
 	buf := make([]float64, 0, streamChunk)
 	out := make([]byte, 0, streamChunk*10)
@@ -282,7 +283,7 @@ func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) {
 		}
 		written += c
 		ss.served += uint64(c)
-		s.metrics.framesStreamed.Add(uint64(c))
+		s.metrics.framesStreamed.Add(float64(c))
 	}
 }
 

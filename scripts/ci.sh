@@ -1,6 +1,7 @@
 #!/bin/sh
 # CI gate: formatting, build, vet, race-check (short mode), the full test
-# suite, and a trafficd daemon smoke test.
+# suite, a trafficd daemon smoke test with a /metrics scrape gate, and a
+# qsim telemetry smoke test.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -65,9 +66,43 @@ frames=$(curl -sSf "$base/v1/streams/$sid/frames?n=100" | wc -l)
 [ "$frames" -eq 100 ] || { echo "expected 100 frames, got $frames" >&2; exit 1; }
 curl -sSf "$base/metrics" | grep -q '^vbrsim_frames_streamed_total 100$'
 
+# Metrics scrape gate: every metric name documented in DESIGN.md §9 must be
+# served with a TYPE header. Keep this list in sync with DESIGN.md and
+# internal/server/metrics_expfmt_test.go (documentedMetrics).
+curl -sSf "$base/metrics" >"$tmpdir/metrics"
+for name in \
+    vbrsim_sessions_active vbrsim_sessions_total vbrsim_streams_rejected_total \
+    vbrsim_frames_streamed_total vbrsim_stream_request_frames \
+    vbrsim_job_duration_seconds vbrsim_jobs_failed_total vbrsim_jobs_rejected_total \
+    vbrsim_estimator_completed vbrsim_estimator_p vbrsim_estimator_std_err \
+    vbrsim_estimator_norm_var vbrsim_estimator_variance_ratio vbrsim_estimator_reps_per_sec \
+    vbrsim_par_runs_total vbrsim_par_tasks_total vbrsim_par_busy_seconds_total \
+    vbrsim_par_peak_in_flight vbrsim_par_utilization \
+    vbrsim_plan_cache_hits_total vbrsim_plan_cache_misses_total \
+    vbrsim_plan_cache_evictions_total vbrsim_plan_cache_singleflight_waits_total
+do
+    grep -q "^# TYPE $name " "$tmpdir/metrics" \
+        || { echo "documented metric $name missing from /metrics" >&2; exit 1; }
+done
+echo "metrics scrape gate OK"
+
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || { echo "trafficd exited nonzero after SIGTERM" >&2; exit 1; }
 grep -q draining "$tmpdir/err"
 echo "smoke test OK"
+
+echo "== qsim -progress smoke"
+# Telemetry smoke: a short estimation run must stream NDJSON convergence
+# snapshots on stderr and write a run manifest carrying its stage spans.
+go run ./cmd/tracegen -intra -frames 8192 -format bin -o "$tmpdir/smoke.bin"
+go run ./cmd/qsim -i "$tmpdir/smoke.bin" -util 0.6 -buffer 30 -reps 200 \
+    -progress -manifest "$tmpdir/run.json" >"$tmpdir/qsim.out" 2>"$tmpdir/qsim.err"
+grep -q '"type":"convergence"' "$tmpdir/qsim.err" \
+    || { echo "qsim -progress emitted no convergence snapshots" >&2; cat "$tmpdir/qsim.err" >&2; exit 1; }
+grep -q '"reps_per_sec"' "$tmpdir/qsim.err" \
+    || { echo "convergence snapshots missing reps_per_sec" >&2; exit 1; }
+grep -q '"stages"' "$tmpdir/run.json" \
+    || { echo "run manifest missing stage spans" >&2; cat "$tmpdir/run.json" >&2; exit 1; }
+echo "progress smoke OK"
 
 echo "CI OK"
