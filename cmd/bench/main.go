@@ -4,8 +4,16 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                 # writes BENCH_3.json
+//	go run ./cmd/bench                 # writes BENCH_4.json
 //	go run ./cmd/bench -o out.json -benchtime 2s
+//	go run ./cmd/bench -only 'StreamBlockFill' -benchtime 300ms
+//	go run ./cmd/bench -only 'DHPathRealInto|StreamBlockFill' \
+//	    -compare BENCH_4.json -threshold 0.25
+//
+// With -compare the freshly measured subset is diffed against the old
+// report per benchmark; any regression beyond -threshold (fractional
+// ns/op increase) makes the command exit nonzero, which is the CI
+// benchdiff gate.
 package main
 
 import (
@@ -14,7 +22,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -30,14 +40,18 @@ func main() {
 
 // entry is one benchmark's measurement in the JSON report.
 type entry struct {
-	NsPerOp     float64            `json:"ns_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
-	N           int                `json:"n"`
-	Extra       map[string]float64 `json:"extra,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+	// GOMAXPROCS is recorded per benchmark: parallel entries (NewPlanParallel,
+	// StreamStepMany) are meaningless without the core count they ran at, and
+	// a report assembled across machines would otherwise lose the provenance.
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
 }
 
-// report is the BENCH_3.json schema: environment header plus one entry per
+// report is the BENCH_4.json schema: environment header plus one entry per
 // benchmark, keyed by name.
 type report struct {
 	GoVersion  string           `json:"go_version"`
@@ -46,16 +60,93 @@ type report struct {
 	Benchmarks map[string]entry `json:"benchmarks"`
 }
 
+// delta is one benchmark's old-vs-new comparison.
+type delta struct {
+	Name     string
+	Old, New float64 // ns/op
+	// Frac is (new-old)/old; positive means slower.
+	Frac float64
+	// Missing marks a benchmark present in only one report (never a
+	// regression by itself).
+	Missing bool
+}
+
+// compareReports diffs new against old per benchmark and reports whether
+// any shared benchmark regressed beyond threshold (fractional ns/op
+// increase). Improvements and new/vanished benchmarks never fail.
+func compareReports(old, fresh report, threshold float64) (deltas []delta, failed bool) {
+	for name, n := range fresh.Benchmarks {
+		o, ok := old.Benchmarks[name]
+		if !ok {
+			deltas = append(deltas, delta{Name: name, New: n.NsPerOp, Missing: true})
+			continue
+		}
+		d := delta{Name: name, Old: o.NsPerOp, New: n.NsPerOp}
+		if o.NsPerOp > 0 {
+			d.Frac = (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		}
+		if d.Frac > threshold {
+			failed = true
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas, failed
+}
+
+// filterSuite selects the benchmarks whose names match re (nil keeps all).
+func filterSuite(benches []benchsuite.Bench, re *regexp.Regexp) []benchsuite.Bench {
+	if re == nil {
+		return benches
+	}
+	var out []benchsuite.Bench
+	for _, bm := range benches {
+		if re.MatchString(bm.Name) {
+			out = append(out, bm)
+		}
+	}
+	return out
+}
+
+func readReport(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
 // run executes the tool; split from main for testability.
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out       = fs.String("o", "BENCH_3.json", "output JSON file")
+		out       = fs.String("o", "", "output JSON file (default BENCH_4.json; suppressed under -compare)")
 		benchtime = fs.Duration("benchtime", time.Second, "target time per benchmark")
+		only      = fs.String("only", "", "regexp selecting a benchmark subset by name")
+		compare   = fs.String("compare", "", "old report to diff against; regressions beyond -threshold fail")
+		threshold = fs.Float64("threshold", 0.25, "fractional ns/op regression tolerated under -compare")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var re *regexp.Regexp
+	if *only != "" {
+		var err error
+		if re, err = regexp.Compile(*only); err != nil {
+			return fmt.Errorf("-only: %w", err)
+		}
+	}
+	var old report
+	if *compare != "" {
+		var err error
+		if old, err = readReport(*compare); err != nil {
+			return err
+		}
 	}
 
 	// testing.Benchmark honours the package-level -test.benchtime flag;
@@ -71,7 +162,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		Benchmarks: make(map[string]entry),
 	}
-	for _, bm := range benchsuite.Suite() {
+	benches := filterSuite(benchsuite.Suite(), re)
+	if len(benches) == 0 {
+		return fmt.Errorf("-only %q matches no benchmarks", *only)
+	}
+	for _, bm := range benches {
 		fmt.Fprintf(stdout, "%-28s ", bm.Name)
 		res := testing.Benchmark(bm.F)
 		e := entry{
@@ -79,6 +174,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
 			N:           res.N,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		}
 		if len(res.Extra) > 0 {
 			e.Extra = make(map[string]float64, len(res.Extra))
@@ -90,6 +186,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "%12.0f ns/op %8d B/op %6d allocs/op\n", e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
 
+	if *compare != "" {
+		deltas, failed := compareReports(old, rep, *threshold)
+		for _, d := range deltas {
+			if d.Missing {
+				fmt.Fprintf(stdout, "%-28s %12.0f ns/op   (not in %s)\n", d.Name, d.New, *compare)
+				continue
+			}
+			fmt.Fprintf(stdout, "%-28s %12.0f -> %10.0f ns/op  %+6.1f%%\n", d.Name, d.Old, d.New, 100*d.Frac)
+		}
+		if failed {
+			return fmt.Errorf("benchmark regression beyond %.0f%% vs %s", 100**threshold, *compare)
+		}
+		fmt.Fprintf(stdout, "no regression beyond %.0f%% vs %s\n", 100**threshold, *compare)
+	}
+
+	if *out == "" {
+		if *compare != "" {
+			return nil // compare runs are gates, not report refreshes
+		}
+		*out = "BENCH_4.json"
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err

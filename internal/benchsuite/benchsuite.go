@@ -49,6 +49,17 @@ func Suite() []Bench {
 		{"FFTRealForward/n=8192", BenchFFTRealForward},
 		{"TransformApplyExact/n=4096", BenchTransformApplyExact},
 		{"TransformApplyLUT/n=4096", BenchTransformApplyLUT},
+		{"StreamTruncatedFill/n=4096", BenchStreamTruncatedFill4096},
+		{"StreamTruncatedFill/n=16384", BenchStreamTruncatedFill16384},
+		{"StreamTruncatedFill/n=65536", BenchStreamTruncatedFill65536},
+		{"StreamBlockFill/n=4096", BenchStreamBlockFill4096},
+		{"StreamBlockFill/n=16384", BenchStreamBlockFill16384},
+		{"StreamBlockFill/n=65536", BenchStreamBlockFill65536},
+		{"BatchExactFill/n=4096", BenchBatchExactFill4096},
+		{"BatchExactFill/n=16384", BenchBatchExactFill16384},
+		{"BatchExactFill/n=65536", BenchBatchExactFill65536},
+		{"StreamBlockRefill/n=7831", BenchStreamBlockRefill},
+		{"StreamStepMany/s=32,n=1024", BenchStreamStepMany},
 		{"RegistryCounterAdd", BenchRegistryCounterAdd},
 		{"SpanStartEnd/off", BenchSpanStartEndOff},
 		{"SpanStartEnd/on", BenchSpanStartEndOn},

@@ -1,0 +1,184 @@
+package benchsuite
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"vbrsim/internal/daviesharte"
+	"vbrsim/internal/modelspec"
+	"vbrsim/internal/par"
+	"vbrsim/internal/rng"
+	"vbrsim/internal/streamblock"
+	"vbrsim/internal/transform"
+)
+
+// The streaming path ladder compares the three ways of producing n serving
+// frames of the paper spec: the truncated-AR(p) stream (the historical
+// serving path: O(p) recursion + exact transform), the overlapped-block
+// Davies-Harte stream (exact-FFT blocks + stitch + LUT transform), and the
+// one-shot exact batch (a dedicated n-length circulant + LUT) as the lower
+// bound a streaming engine is chasing. All three run the paper model
+// end-to-end to foreground frames, so the ratios are serving-path ratios,
+// not kernel ratios.
+
+// ladderSizes are the ladder's n-equivalents.
+var ladderSizes = []int{4096, 16384, 65536}
+
+type ladderFixture struct {
+	truncStream *modelspec.Stream
+	blockStream *modelspec.Stream
+	stepStreams []*modelspec.Stream
+	batchPlans  map[int]*daviesharte.Plan
+	lut         *transform.LUT
+}
+
+var (
+	ladderOnce sync.Once
+	ladder     ladderFixture
+	ladderErr  error
+)
+
+// stepSessions is the batched-stepping fan-out width: the trafficd session
+// layer steps sessions in groups of this size per cache-warm pass.
+const stepSessions = 32
+
+func getLadder(b *testing.B) *ladderFixture {
+	ladderOnce.Do(func() {
+		ctx := context.Background()
+		spec := modelspec.Paper()
+		spec.Seed = 1
+		if ladder.truncStream, ladderErr = spec.OpenCtx(ctx, 0); ladderErr != nil {
+			return
+		}
+		spec.Engine = modelspec.EngineBlock
+		if ladder.blockStream, ladderErr = spec.OpenCtx(ctx, 0); ladderErr != nil {
+			return
+		}
+		for i := 0; i < stepSessions; i++ {
+			s := spec
+			s.Seed = uint64(100 + i)
+			st, err := s.OpenCtx(ctx, 0)
+			if err != nil {
+				ladderErr = err
+				return
+			}
+			ladder.stepStreams = append(ladder.stepStreams, st)
+		}
+		model, tr, err := spec.Source()
+		if err != nil {
+			ladderErr = err
+			return
+		}
+		if ladder.lut, ladderErr = tr.NewDefaultLUT(); ladderErr != nil {
+			return
+		}
+		ladder.batchPlans = make(map[int]*daviesharte.Plan, len(ladderSizes))
+		for _, n := range ladderSizes {
+			plan, err := daviesharte.NewPlan(model, n, daviesharte.Options{AllowApprox: true})
+			if err != nil {
+				ladderErr = err
+				return
+			}
+			ladder.batchPlans[n] = plan
+		}
+	})
+	if ladderErr != nil {
+		b.Fatal(ladderErr)
+	}
+	return &ladder
+}
+
+func benchStreamFill(b *testing.B, st *modelspec.Stream, n int) {
+	out := make([]float64, n)
+	st.Fill(out) // warm arenas and FFT tables before the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Fill(out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/frame")
+}
+
+// BenchStreamTruncatedFill4096 streams 4096 paper frames through the
+// truncated-AR serving path.
+func BenchStreamTruncatedFill4096(b *testing.B) { benchStreamFill(b, getLadder(b).truncStream, 4096) }
+
+// BenchStreamTruncatedFill16384 is the n=16k rung — the ladder's headline
+// comparison point.
+func BenchStreamTruncatedFill16384(b *testing.B) { benchStreamFill(b, getLadder(b).truncStream, 16384) }
+
+// BenchStreamTruncatedFill65536 is the n=64k rung.
+func BenchStreamTruncatedFill65536(b *testing.B) { benchStreamFill(b, getLadder(b).truncStream, 65536) }
+
+// BenchStreamBlockFill4096 streams 4096 paper frames through the
+// overlapped-block engine.
+func BenchStreamBlockFill4096(b *testing.B) { benchStreamFill(b, getLadder(b).blockStream, 4096) }
+
+// BenchStreamBlockFill16384 is the block engine at the headline rung.
+func BenchStreamBlockFill16384(b *testing.B) { benchStreamFill(b, getLadder(b).blockStream, 16384) }
+
+// BenchStreamBlockFill65536 is the block engine at the n=64k rung.
+func BenchStreamBlockFill65536(b *testing.B) { benchStreamFill(b, getLadder(b).blockStream, 65536) }
+
+func benchBatchExact(b *testing.B, n int) {
+	f := getLadder(b)
+	plan := f.batchPlans[n]
+	var s daviesharte.Scratch
+	src := rng.New(1)
+	out := make([]float64, n)
+	plan.PathRealInto(out, &s, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.PathRealInto(out, &s, src)
+		f.lut.ApplyTo(out, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/frame")
+}
+
+// BenchBatchExactFill4096 is the one-shot exact batch at n=4096: the
+// dedicated-circulant lower bound for the ladder.
+func BenchBatchExactFill4096(b *testing.B) { benchBatchExact(b, 4096) }
+
+// BenchBatchExactFill16384 is the exact batch at n=16k.
+func BenchBatchExactFill16384(b *testing.B) { benchBatchExact(b, 16384) }
+
+// BenchBatchExactFill65536 is the exact batch at n=64k.
+func BenchBatchExactFill65536(b *testing.B) { benchBatchExact(b, 65536) }
+
+// BenchStreamBlockRefill measures one steady-state block refill (raw
+// Davies-Harte path + stitch + LUT) by filling exactly one block per op.
+// The allocs_per_op column is the AllocsPerRun=0 gate in BENCH_4.json.
+func BenchStreamBlockRefill(b *testing.B) {
+	f := getLadder(b)
+	blockLen := streamblock.DefaultTotal - f.blockStream.Order()
+	out := make([]float64, blockLen)
+	f.blockStream.Fill(out)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.blockStream.Fill(out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(blockLen), "ns/frame")
+}
+
+// BenchStreamStepMany steps 32 block-engine sessions by 1024 frames each
+// through the par pool — the trafficd batched-stepping shape — so the
+// aggregate frames/sec/core scaling with GOMAXPROCS is on the record.
+func BenchStreamStepMany(b *testing.B) {
+	f := getLadder(b)
+	const frames = 1024
+	workers := par.Workers(runtime.GOMAXPROCS(0), len(f.stepStreams))
+	bufs := make([][]float64, len(f.stepStreams))
+	for i := range bufs {
+		bufs[i] = make([]float64, frames)
+		f.stepStreams[i].Fill(bufs[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		par.For(workers, len(f.stepStreams), func(_, j int) {
+			f.stepStreams[j].Fill(bufs[j])
+		})
+	}
+	total := float64(len(f.stepStreams) * frames)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/total, "ns/frame")
+}

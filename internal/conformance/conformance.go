@@ -33,6 +33,7 @@ import (
 	"vbrsim/internal/par"
 	"vbrsim/internal/rng"
 	"vbrsim/internal/stats"
+	"vbrsim/internal/streamblock"
 	"vbrsim/internal/transform"
 )
 
@@ -135,6 +136,7 @@ func Suite() []Check {
 		hurstCheck{},
 		equivalenceCheck{},
 		fastBoundCheck{},
+		streamBatchCheck{},
 		queueTailCheck{},
 	}
 }
@@ -262,17 +264,37 @@ type pathGen func(dst []float64, s *genArena, seed uint64) error
 
 // genArena is the per-worker scratch of measureBackend's replication loop:
 // a reseedable generator, backend path scratch, FFT scratch for the sample
-// autocovariance, and the path/foreground buffers.
+// autocovariance, the path/foreground buffers, and (for the streamblock
+// backend) a per-worker block stream reseeded between replications so the
+// steady state stays allocation-free.
 type genArena struct {
 	src  rng.Source
 	dh   daviesharte.Scratch
 	fft  fft.Scratch
 	x, y []float64
+	blk  *streamblock.Stream
+}
+
+// streamBlockTotal sizes the conformance view of the overlapped-block
+// stream engine. It is deliberately small (block length 2048 - order, far
+// below the serving DefaultTotal) so the measurement paths cross several
+// block boundaries and the stitch correction — the engine's only
+// approximation — is what actually gets gated.
+const streamBlockTotal = 2048
+
+// streamBlockEngine builds the conformance-scale block engine for model.
+func streamBlockEngine(ctx context.Context, model acf.Model) (*streamblock.Engine, error) {
+	trunc, err := truncatedFor(ctx, model)
+	if err != nil {
+		return nil, err
+	}
+	return streamblock.EngineFor(model, trunc, streamblock.Config{Total: streamBlockTotal})
 }
 
 // coreBackends lists the generators that target the composite ACF exactly:
-// the exact Hosking sampler, its truncated-AR fast path (the serving
-// default), and the Davies-Harte circulant-embedding sampler. The prepare
+// the exact Hosking sampler, its truncated-AR fast path (the historical
+// serving default), the Davies-Harte circulant-embedding sampler, and the
+// overlapped-block streaming engine built on it. The prepare
 // hooks reuse one plan for a whole measurement and generate through the
 // zero-allocation engines; the path closures keep the historical one-shot
 // layout the golden traces pin.
@@ -337,6 +359,38 @@ func coreBackends() []genBackend {
 				return func(dst []float64, s *genArena, seed uint64) error {
 					s.src.Reseed(seed)
 					plan.PathRealInto(dst, &s.dh, &s.src)
+					return nil
+				}, nil
+			},
+		},
+		{
+			name: "streamblock",
+			path: func(ctx context.Context, model acf.Model, n int, seed uint64) ([]float64, error) {
+				eng, err := streamBlockEngine(ctx, model)
+				if err != nil {
+					return nil, err
+				}
+				st := eng.NewStream(seed)
+				defer st.Close()
+				out := make([]float64, n)
+				st.Fill(out)
+				return out, nil
+			},
+			prepare: func(ctx context.Context, model acf.Model, _ int) (pathGen, error) {
+				eng, err := streamBlockEngine(ctx, model)
+				if err != nil {
+					return nil, err
+				}
+				return func(dst []float64, s *genArena, seed uint64) error {
+					// One stream per arena, reseeded per replication: block
+					// refills reuse the arena buffers, so replications after
+					// the first allocate nothing.
+					if s.blk == nil || s.blk.Engine() != eng {
+						s.blk = eng.NewStream(seed)
+					} else {
+						s.blk.Reseed(seed)
+					}
+					s.blk.Fill(dst)
 					return nil
 				}, nil
 			},

@@ -25,9 +25,9 @@ const (
 )
 
 // goldenSources enumerates every deterministic frame producer that gets a
-// golden trace: the three background backends pushed through the marginal
-// transform, plus the serving path (modelspec.Stream via Spec.Frames —
-// exactly what trafficd emits).
+// golden trace: the background backends pushed through the marginal
+// transform, plus the serving paths (modelspec.Stream via Spec.Frames —
+// exactly what trafficd emits) on both engines.
 func goldenSources(ctx context.Context) (map[string][]float64, error) {
 	comp, tr, _, err := paperModel()
 	if err != nil {
@@ -48,6 +48,12 @@ func goldenSources(ctx context.Context) (map[string][]float64, error) {
 		return nil, err
 	}
 	out["stream"] = frames
+	spec.Engine = modelspec.EngineBlock
+	blockFrames, err := spec.Frames(ctx, 0, goldenFrames, 0)
+	if err != nil {
+		return nil, err
+	}
+	out["stream_block"] = blockFrames
 	return out, nil
 }
 

@@ -143,6 +143,43 @@ func (p *Plan) arExtensionError(order int) float64 {
 // Order returns the truncation order p.
 func (t *Truncated) Order() int { return t.order }
 
+// Row returns a copy of the frozen coefficient row in its stored reversed
+// orientation: Row()[i] = phi_{p,p-i}, so the AR coefficient of lag k is
+// Row()[p-k]. This is the exact vector CondMean regresses on, exposed for
+// engines (streamblock) that rebuild the AR(p) conditional law elsewhere.
+func (t *Truncated) Row() []float64 {
+	return append([]float64(nil), t.row...)
+}
+
+// ImpliedACF returns the autocorrelation of the stationary AR(p) process the
+// frozen row defines, at lags 0..lags-1: the target table up to the order
+// (the row solves those Yule-Walker equations exactly) and the AR extension
+// beyond it. The extension decays quasi-exponentially where a long-memory
+// target decays as a power law — ImpliedACF minus the target IS the
+// truncation error, lag by lag, which the conformance LRD-tail gate compares
+// against the measured block-stream curve.
+func (t *Truncated) ImpliedACF(lags int) []float64 {
+	if lags <= 0 {
+		return nil
+	}
+	p := t.plan
+	ext := make([]float64, lags)
+	head := t.order + 1
+	if head > lags {
+		head = lags
+	}
+	copy(ext, p.r[:head])
+	for k := head; k < lags; k++ {
+		base := k - t.order
+		var s float64
+		for i := 0; i < t.order; i++ {
+			s += t.row[i] * ext[base+i]
+		}
+		ext[k] = s
+	}
+	return ext
+}
+
 // Tol returns the tolerance the truncation was built with.
 func (t *Truncated) Tol() float64 { return t.tol }
 

@@ -27,6 +27,10 @@ func FuzzModelSpecDecode(f *testing.F) {
 	f.Add([]byte(`{"acf":{"weights":[],"rates":[],"l":0,"beta":0,"knee":0}}`))
 	f.Add([]byte(`{"acf":{"weights":[1],"rates":[0.1],"l":1,"beta":0.2,"knee":10},"marginal":{"kind":"empirical","sample":[1,2,3]}}`))
 	f.Add([]byte(`{"acf":{"weights":[1e999],"rates":[0.1]}}`))
+	f.Add([]byte(`{"acf":{"weights":[1],"rates":[0.1],"l":1,"beta":0.2,"knee":10},"engine":"block"}`))
+	f.Add([]byte(`{"acf":{"weights":[1],"rates":[0.1],"l":1,"beta":0.2,"knee":10},"engine":"truncated"}`))
+	f.Add([]byte(`{"acf":{"weights":[1],"rates":[0.1],"l":1,"beta":0.2,"knee":10},"engine":"warp"}`))
+	f.Add([]byte(`{"acf":{"weights":[1],"rates":[0.1],"l":1,"beta":0.2,"knee":10},"engine":""}`))
 	f.Add([]byte(`{"unknown_field":1}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`null`))

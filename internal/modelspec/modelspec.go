@@ -29,6 +29,7 @@ import (
 	"vbrsim/internal/dist"
 	"vbrsim/internal/hosking"
 	"vbrsim/internal/rng"
+	"vbrsim/internal/streamblock"
 	"vbrsim/internal/transform"
 )
 
@@ -45,6 +46,13 @@ type Spec struct {
 	// Marginal is the foreground marginal; nil means standard normal (the
 	// stream is the background process itself).
 	Marginal *MarginalSpec `json:"marginal,omitempty"`
+	// Engine selects the background synthesis engine: "" or "truncated" for
+	// the AR(p) fast recursion (exact transform, the historical serving
+	// path), "block" for the overlapped-block Davies-Harte streaming engine
+	// (exact-FFT blocks, LUT transform, O(1) seek). Both are seed-
+	// deterministic and identical offline vs served; their frame values
+	// differ between engines by construction.
+	Engine string `json:"engine,omitempty"`
 
 	// Fit metadata, written by FromModel for the record; not used for
 	// generation.
@@ -130,6 +138,11 @@ func (s *Spec) Validate() error {
 		if _, err := s.Marginal.Distribution(); err != nil {
 			return err
 		}
+	}
+	switch s.Engine {
+	case "", EngineTruncated, EngineBlock:
+	default:
+		return fmt.Errorf("modelspec: unknown engine %q (want %q or %q)", s.Engine, EngineTruncated, EngineBlock)
 	}
 	return nil
 }
@@ -225,19 +238,37 @@ func Paper() Spec {
 	}
 }
 
-// Stream is the deterministic generation loop for a spec: a truncated-AR
-// fast generator (constant work and memory per frame, unbounded horizon)
-// behind the process-wide plan cache, mapped through the marginal transform.
-// It is bound to a single goroutine; trafficd serializes access per session.
+// Engine names accepted by Spec.Engine.
+const (
+	// EngineTruncated is the AR(p) fast recursion with the exact transform —
+	// the historical serving path, bit-compatible with every pre-engine
+	// spec (its golden traces are unchanged).
+	EngineTruncated = "truncated"
+	// EngineBlock is the overlapped-block Davies-Harte streaming engine:
+	// exact-FFT blocks with AR(p)-conditional stitching, the LUT transform,
+	// and O(1) seek in either direction.
+	EngineBlock = "block"
+)
+
+// Stream is the deterministic generation loop for a spec: an unbounded
+// background generator — the truncated-AR recursion or the overlapped-block
+// Davies-Harte engine, per Spec.Engine — behind the process-wide plan
+// cache, mapped through the marginal transform. It is bound to a single
+// goroutine; trafficd serializes access per session.
 type Stream struct {
 	trunc *hosking.Truncated
 	tr    transform.T
-	gen   *hosking.TruncatedGenerator
 	seed  uint64
+
+	// Exactly one of gen (truncated engine) and blk (block engine) is set.
+	gen *hosking.TruncatedGenerator
+	blk *streamblock.Stream
+	lut *transform.LUT
 }
 
 // OpenCtx builds the stream for the spec: plan acquisition (cached,
-// cancellable) plus truncation. tol is the partial-correlation cutoff
+// cancellable) plus truncation, plus — for the block engine — the shared
+// block engine and the transform LUT. tol is the partial-correlation cutoff
 // (0 = default). The stream starts at frame 0.
 func (s *Spec) OpenCtx(ctx context.Context, tol float64) (*Stream, error) {
 	model, tr, err := s.Source()
@@ -249,6 +280,19 @@ func (s *Spec) OpenCtx(ctx context.Context, tol float64) (*Stream, error) {
 		return nil, err
 	}
 	st := &Stream{trunc: trunc, tr: tr, seed: s.Seed}
+	if s.Engine == EngineBlock {
+		eng, err := streamblock.EngineFor(model, trunc, streamblock.Config{})
+		if err != nil {
+			return nil, err
+		}
+		lut, err := tr.NewDefaultLUT()
+		if err != nil {
+			return nil, err
+		}
+		st.blk = eng.NewStream(s.Seed)
+		st.lut = lut
+		return st, nil
+	}
 	st.reset()
 	return st, nil
 }
@@ -257,31 +301,58 @@ func (st *Stream) reset() {
 	st.gen = hosking.NewTruncatedGenerator(st.trunc, rng.New(st.seed))
 }
 
+// Close releases engine-side accounting (the block engine's arena gauge).
+// A closed stream must not be used again; Close on a truncated-engine
+// stream is a no-op.
+func (st *Stream) Close() {
+	if st.blk != nil {
+		st.blk.Close()
+	}
+}
+
 // Pos returns the index of the next frame the stream will produce.
-func (st *Stream) Pos() int { return st.gen.Pos() }
+func (st *Stream) Pos() int {
+	if st.blk != nil {
+		return st.blk.Pos()
+	}
+	return st.gen.Pos()
+}
 
 // Seed returns the seed driving the stream.
 func (st *Stream) Seed() uint64 { return st.seed }
 
-// Order returns the AR truncation order of the underlying fast plan.
+// Order returns the AR truncation order of the underlying fast plan (for
+// the block engine: the stitch overlap length).
 func (st *Stream) Order() int { return st.trunc.Order() }
 
 // MaxACFError returns the measured ACF error of the truncation.
 func (st *Stream) MaxACFError() float64 { return st.trunc.MaxACFError() }
 
 // Next produces the next foreground frame (bytes per frame).
-func (st *Stream) Next() float64 { return st.tr.Apply(st.gen.Next()) }
+func (st *Stream) Next() float64 {
+	if st.blk != nil {
+		return st.lut.Apply(st.blk.Next())
+	}
+	return st.tr.Apply(st.gen.Next())
+}
 
 // Fill produces len(out) consecutive frames.
 func (st *Stream) Fill(out []float64) {
+	if st.blk != nil {
+		// Background block fill, then the LUT in place — bit-identical to
+		// Next (same LUT evaluation), with no intermediate buffer.
+		st.blk.Fill(out)
+		st.lut.ApplyTo(out, out)
+		return
+	}
 	for i := range out {
-		out[i] = st.Next()
+		out[i] = st.tr.Apply(st.gen.Next())
 	}
 }
 
-// Seek positions the stream so the next frame is frame pos. Seeking
-// backwards replays deterministically from the seed (O(p) per skipped
-// frame), which is what makes reconnect-and-resume reproducible.
+// Seek positions the stream so the next frame is frame pos. On the
+// truncated engine a backward seek replays deterministically from the seed
+// (O(p) per skipped frame); the block engine seeks in O(1) either way.
 func (st *Stream) Seek(pos int) { st.SeekCtx(context.Background(), pos) }
 
 // seekCheckEvery is how many skipped frames SeekCtx generates between
@@ -291,12 +362,17 @@ func (st *Stream) Seek(pos int) { st.SeekCtx(context.Background(), pos) }
 const seekCheckEvery = 1 << 13
 
 // SeekCtx is Seek with cancellation. pos is client-controlled in trafficd,
-// so the replay loop polls ctx; on cancellation the stream is left at
-// whatever position the replay reached (still a valid state — a later seek
-// continues or resets from there).
+// so the truncated engine's replay loop polls ctx; on cancellation the
+// stream is left at whatever position the replay reached (still a valid
+// state — a later seek continues or resets from there). The block engine
+// seeks in constant time and never reports cancellation.
 func (st *Stream) SeekCtx(ctx context.Context, pos int) error {
 	if pos < 0 {
 		pos = 0
+	}
+	if st.blk != nil {
+		st.blk.Seek(pos)
+		return nil
 	}
 	if pos < st.gen.Pos() {
 		st.reset()
@@ -320,6 +396,7 @@ func (s *Spec) Frames(ctx context.Context, from, n int, tol float64) ([]float64,
 	if err != nil {
 		return nil, err
 	}
+	defer st.Close()
 	if err := st.SeekCtx(ctx, from); err != nil {
 		return nil, err
 	}

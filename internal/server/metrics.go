@@ -6,6 +6,7 @@ import (
 	"vbrsim/internal/hosking"
 	"vbrsim/internal/obs"
 	"vbrsim/internal/par"
+	"vbrsim/internal/streamblock"
 )
 
 // metrics binds the daemon's instruments to an obs.Registry. All metric
@@ -86,6 +87,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Worker utilization (busy/(wall*workers)) of the latest fan-out run."),
 	}
 	hosking.Shared.RegisterMetrics(reg)
+	streamblock.RegisterMetrics(reg)
 	return m
 }
 

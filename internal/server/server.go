@@ -8,6 +8,7 @@
 //	GET    /healthz                      liveness (503 while draining)
 //	GET    /metrics                      Prometheus text format
 //	POST   /v1/streams                   create a session from a modelspec
+//	POST   /v1/streams/step              advance many sessions in one batch
 //	GET    /v1/streams                   list sessions
 //	GET    /v1/streams/{id}              session state
 //	DELETE /v1/streams/{id}              close a session
@@ -131,6 +132,7 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", reg.Handler())
 	s.mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
+	s.mux.HandleFunc("POST /v1/streams/step", s.handleStreamStep)
 	s.mux.HandleFunc("GET /v1/streams", s.handleStreamList)
 	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamGet)
 	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)

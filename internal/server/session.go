@@ -87,12 +87,18 @@ func (s *Server) getSession(id string) (*session, bool) {
 
 func (s *Server) removeSession(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.sessions[id]; !ok {
+	ss, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
 		return false
 	}
 	delete(s.sessions, id)
 	s.metrics.sessionsActive.Add(-1)
+	s.mu.Unlock()
+	// Release engine-side accounting (the block engine's arena-bytes gauge).
+	// Stream.Close touches no buffers, so an in-flight read that still holds
+	// ss.mu finishes safely; the arena is simply no longer counted.
+	ss.stream.Close()
 	return true
 }
 

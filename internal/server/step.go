@@ -1,0 +1,127 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+
+	"vbrsim/internal/par"
+)
+
+// stepBatch is the fan-out width of batched session stepping: sessions
+// advance in groups of this size through the shared worker pool, so a
+// simulation driver holding hundreds of sessions pays one request (and one
+// pool warm-up) per batch instead of one round trip per session.
+const stepBatch = 32
+
+// maxStepFrames bounds the per-session frame count of one step request
+// (the work runs lock-held per session, like a frames read).
+const maxStepFrames = 1 << 20
+
+// maxStepReturnFrames is the tighter bound when the stepped frames are
+// returned in the JSON response body rather than discarded.
+const maxStepReturnFrames = 1 << 16
+
+// stepRequest is the POST /v1/streams/step body.
+type stepRequest struct {
+	// IDs lists the sessions to advance, in response order.
+	IDs []string `json:"ids"`
+	// N is the frame count each listed session advances by.
+	N int `json:"n"`
+	// IncludeFrames returns the generated frames per session (bounded by
+	// maxStepReturnFrames); when false the sessions advance positions only,
+	// which is the cheap bulk-warm path.
+	IncludeFrames bool `json:"include_frames,omitempty"`
+}
+
+// stepResult is one session's outcome in the step response.
+type stepResult struct {
+	ID    string `json:"id"`
+	Start int    `json:"start"` // position before the step
+	Pos   int    `json:"pos"`   // position after the step
+	// Frames carries the stepped frames when requested.
+	Frames []float64 `json:"frames,omitempty"`
+}
+
+// handleStreamStep advances many sessions at once: the batched-stepping
+// entry point for simulation drivers. Validation is atomic — every listed
+// session must exist before any session moves — and each batch of
+// stepBatch sessions advances in parallel through the par pool, each
+// session under its own lock. Determinism is per session: a session's
+// frames depend only on its spec, seed, and cumulative position, never on
+// batch composition or worker scheduling.
+func (s *Server) handleStreamStep(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+	var req stepRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.IDs) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("need at least one session id"))
+		return
+	}
+	if req.N <= 0 {
+		httpError(w, http.StatusBadRequest, errors.New("need n > 0 frames"))
+		return
+	}
+	limit := maxStepFrames
+	if req.IncludeFrames {
+		limit = maxStepReturnFrames
+	}
+	if req.N > limit {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("n=%d exceeds the per-step limit %d", req.N, limit))
+		return
+	}
+	sessions := make([]*session, len(req.IDs))
+	for i, id := range req.IDs {
+		ss, ok := s.getSession(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("%w: %s", errNoSession, id))
+			return
+		}
+		sessions[i] = ss
+	}
+
+	results := make([]stepResult, len(sessions))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > stepBatch {
+		workers = stepBatch
+	}
+	for base := 0; base < len(sessions); base += stepBatch {
+		batch := sessions[base:]
+		if len(batch) > stepBatch {
+			batch = batch[:stepBatch]
+		}
+		bres := results[base : base+len(batch)]
+		par.For(par.Workers(workers, len(batch)), len(batch), func(_, i int) {
+			ss := batch[i]
+			ss.mu.Lock()
+			res := stepResult{ID: ss.id, Start: ss.stream.Pos()}
+			if req.IncludeFrames {
+				res.Frames = make([]float64, req.N)
+				ss.stream.Fill(res.Frames)
+			} else {
+				var buf [streamChunk]float64
+				for left := req.N; left > 0; {
+					c := left
+					if c > streamChunk {
+						c = streamChunk
+					}
+					ss.stream.Fill(buf[:c])
+					left -= c
+				}
+			}
+			res.Pos = ss.stream.Pos()
+			ss.served += uint64(req.N)
+			ss.mu.Unlock()
+			bres[i] = res
+		})
+		s.metrics.framesStreamed.Add(float64(len(batch) * req.N))
+	}
+	writeJSON(w, http.StatusOK, results)
+}

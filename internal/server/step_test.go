@@ -1,0 +1,187 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"testing"
+
+	"vbrsim/internal/modelspec"
+)
+
+func blockPaperSpec(seed uint64) modelspec.Spec {
+	s := modelspec.Paper()
+	s.Seed = seed
+	s.Engine = modelspec.EngineBlock
+	return s
+}
+
+// TestBlockEngineSessionMatchesOffline locks the served-vs-offline contract
+// for block-engine sessions: the frames a session streams, across chunked
+// reads and an explicit from= replay, are bit-identical to Spec.Frames.
+func TestBlockEngineSessionMatchesOffline(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	spec := blockPaperSpec(4242)
+	info := createStream(t, ts.URL, spec)
+
+	want, err := spec.Frames(context.Background(), 0, 600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readNDJSON(t, fmt.Sprintf("%s/v1/streams/%s/frames?n=400", ts.URL, info.ID))
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("frame %d: server %v, offline %v", i, got[i], want[i])
+		}
+	}
+	// Backward seek on the block engine is O(1); it must still land
+	// bit-exactly.
+	replay := readNDJSON(t, fmt.Sprintf("%s/v1/streams/%s/frames?n=100&from=50", ts.URL, info.ID))
+	for i := range replay {
+		if math.Float64bits(replay[i]) != math.Float64bits(want[50+i]) {
+			t.Fatalf("replayed frame %d: %v, want %v", 50+i, replay[i], want[50+i])
+		}
+	}
+}
+
+// TestBlockEngineSeekCapStillEnforced pins the from= guard on block-engine
+// sessions: even though their seek is O(1), the 2^24 seek-ahead cap is part
+// of the HTTP contract and must reject uniformly across engines.
+func TestBlockEngineSeekCapStillEnforced(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	info := createStream(t, ts.URL, blockPaperSpec(7))
+	resp, err := http.Get(fmt.Sprintf("%s/v1/streams/%s/frames?n=1&from=%d", ts.URL, info.ID, maxSeekAhead+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("seek beyond cap: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStreamStepAdvancesBatch drives the batched-stepping endpoint over a
+// mixed fleet (both engines) and checks every session advances by exactly
+// n with the positions reported, and that a follow-up read continues
+// bit-identically to offline generation — stepping is just serving without
+// the response body.
+func TestStreamStepAdvancesBatch(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	const fleet = 5
+	const stepN = 500
+	var ids []string
+	var specs []modelspec.Spec
+	for i := 0; i < fleet; i++ {
+		spec := blockPaperSpec(uint64(1000 + i))
+		if i%2 == 1 {
+			spec = paperSpec(uint64(1000 + i)) // interleave truncated engine
+		}
+		info := createStream(t, ts.URL, spec)
+		ids = append(ids, info.ID)
+		specs = append(specs, spec)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/streams/step", stepRequest{IDs: ids, N: stepN})
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("step: %d %s", resp.StatusCode, body)
+	}
+	results := decodeJSON[[]stepResult](t, resp)
+	if len(results) != fleet {
+		t.Fatalf("got %d results, want %d", len(results), fleet)
+	}
+	for i, res := range results {
+		if res.ID != ids[i] {
+			t.Fatalf("result %d is for %s, want %s (order must match request)", i, res.ID, ids[i])
+		}
+		if res.Start != 0 || res.Pos != stepN {
+			t.Fatalf("result %d: start %d pos %d, want 0 %d", i, res.Start, res.Pos, stepN)
+		}
+		if res.Frames != nil {
+			t.Fatalf("result %d carries frames without include_frames", i)
+		}
+	}
+
+	// Continuity: frames read after the step are offline frames stepN+.
+	for i, id := range ids {
+		want, err := specs[i].Frames(context.Background(), 0, stepN+64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := readNDJSON(t, fmt.Sprintf("%s/v1/streams/%s/frames?n=64", ts.URL, id))
+		for j := range got {
+			if math.Float64bits(got[j]) != math.Float64bits(want[stepN+j]) {
+				t.Fatalf("session %s frame %d after step: %v, want %v", id, stepN+j, got[j], want[stepN+j])
+			}
+		}
+	}
+}
+
+// TestStreamStepIncludeFrames checks the frame-returning variant is
+// bit-identical to offline generation.
+func TestStreamStepIncludeFrames(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	spec := blockPaperSpec(31337)
+	info := createStream(t, ts.URL, spec)
+
+	resp := postJSON(t, ts.URL+"/v1/streams/step", stepRequest{IDs: []string{info.ID}, N: 256, IncludeFrames: true})
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("step: %d %s", resp.StatusCode, body)
+	}
+	results := decodeJSON[[]stepResult](t, resp)
+	want, err := spec.Frames(context.Background(), 0, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || len(results[0].Frames) != 256 {
+		t.Fatalf("results: %+v", results)
+	}
+	for i, v := range results[0].Frames {
+		if math.Float64bits(v) != math.Float64bits(want[i]) {
+			t.Fatalf("stepped frame %d: %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+// TestStreamStepValidation exercises the endpoint's rejection paths:
+// atomic unknown-id failure (no session moves), bad n, empty batch, and
+// the tighter frame-returning bound.
+func TestStreamStepValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	info := createStream(t, ts.URL, blockPaperSpec(55))
+
+	cases := []struct {
+		name string
+		req  stepRequest
+		code int
+	}{
+		{"unknown id", stepRequest{IDs: []string{info.ID, "s999"}, N: 10}, http.StatusNotFound},
+		{"zero n", stepRequest{IDs: []string{info.ID}, N: 0}, http.StatusBadRequest},
+		{"empty ids", stepRequest{N: 10}, http.StatusBadRequest},
+		{"frames over bound", stepRequest{IDs: []string{info.ID}, N: maxStepReturnFrames + 1, IncludeFrames: true}, http.StatusBadRequest},
+		{"step over bound", stepRequest{IDs: []string{info.ID}, N: maxStepFrames + 1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/streams/step", tc.req)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.code)
+		}
+	}
+	// The atomic-validation promise: the unknown-id request moved nothing.
+	resp, err := http.Get(ts.URL + "/v1/streams/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeJSON[SessionInfo](t, resp)
+	if got.Pos != 0 {
+		t.Fatalf("session advanced to %d by a rejected batch", got.Pos)
+	}
+}

@@ -1,0 +1,46 @@
+package streamblock
+
+import (
+	"sync/atomic"
+
+	"vbrsim/internal/obs"
+)
+
+// Package-level instrumentation: refill counters and the arena gauge are
+// plain atomics updated on every stream regardless of registration, and
+// RegisterMetrics exposes them as live collectors (the hosking plan-cache
+// idiom). The histogram needs a registry-owned instrument, so refills
+// observe it through an atomic pointer that registration swaps in.
+var (
+	refillsTotal atomic.Uint64
+	arenaBytes   atomic.Int64
+	blockNsHist  atomic.Pointer[obs.Histogram]
+)
+
+func observeRefill(ns int64) {
+	refillsTotal.Add(1)
+	if h := blockNsHist.Load(); h != nil {
+		h.Observe(float64(ns))
+	}
+}
+
+func observeArena(delta int64) {
+	arenaBytes.Add(delta)
+}
+
+// RegisterMetrics exposes the engine's counters on r:
+// vbrsim_streamblock_refills_total, vbrsim_streamblock_block_ns, and
+// vbrsim_streamblock_arena_bytes. Registration is idempotent per registry;
+// the histogram feeds whichever registry registered most recently (one
+// registry per process in the daemon).
+func RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("vbrsim_streamblock_refills_total",
+		"Block refills performed by streamblock streams.",
+		func() float64 { return float64(refillsTotal.Load()) })
+	r.GaugeFunc("vbrsim_streamblock_arena_bytes",
+		"Bytes held by live streamblock per-stream arenas.",
+		func() float64 { return float64(arenaBytes.Load()) })
+	blockNsHist.Store(r.Histogram("vbrsim_streamblock_block_ns",
+		"Wall time of one block refill (raw path + stitch), nanoseconds.",
+		[]float64{50e3, 100e3, 250e3, 500e3, 1e6, 2.5e6, 5e6, 10e6, 50e6}))
+}

@@ -35,6 +35,16 @@ echo "== conformance -quick"
 # (the race gate above covers the same worker pools via -race -short).
 go run ./cmd/conformance -quick -workers 4 -out CONFORMANCE_1.json
 
+echo "== benchdiff gate"
+# Regression gate over a small, stable benchmark subset: re-measure the
+# DH kernel and the streaming-ladder headline rungs and diff against the
+# committed BENCH_4.json. The 25% threshold is generous — it absorbs
+# machine-to-machine and run-to-run noise while catching order-of-magnitude
+# regressions (a lost fast path, an accidental allocation in a refill).
+go run ./cmd/bench -benchtime 300ms \
+    -only 'DHPathRealInto|StreamTruncatedFill/n=16384|StreamBlockFill/n=16384|StreamBlockRefill' \
+    -compare BENCH_4.json -threshold 0.25
+
 echo "== fuzz smoke"
 # Bounded runs of the native fuzz targets: spec decoding must never panic
 # and quantile compaction must stay idempotent.
@@ -79,7 +89,9 @@ for name in \
     vbrsim_par_runs_total vbrsim_par_tasks_total vbrsim_par_busy_seconds_total \
     vbrsim_par_peak_in_flight vbrsim_par_utilization \
     vbrsim_plan_cache_hits_total vbrsim_plan_cache_misses_total \
-    vbrsim_plan_cache_evictions_total vbrsim_plan_cache_singleflight_waits_total
+    vbrsim_plan_cache_evictions_total vbrsim_plan_cache_singleflight_waits_total \
+    vbrsim_streamblock_refills_total vbrsim_streamblock_arena_bytes \
+    vbrsim_streamblock_block_ns
 do
     grep -q "^# TYPE $name " "$tmpdir/metrics" \
         || { echo "documented metric $name missing from /metrics" >&2; exit 1; }
