@@ -95,6 +95,29 @@ func (c *Client) CreateStream(ctx context.Context, spec *modelspec.Spec) (server
 	return info, err
 }
 
+// CreateTrunk opens a superposition session: the trunk spec's weighted
+// component streams multiplexed into one aggregate. The returned info
+// carries the trunk seed (server-assigned when the spec leaves it 0) and
+// the flattened source count; the session serves through the same Frames,
+// Step and CloseStream calls as a plain stream.
+func (c *Client) CreateTrunk(ctx context.Context, spec *modelspec.TrunkSpec) (server.SessionInfo, error) {
+	var info server.SessionInfo
+	err := c.doJSON(ctx, "POST", "/v1/trunks", spec, &info)
+	return info, err
+}
+
+// Step advances many sessions by n frames in one batched request
+// (POST /v1/streams/step). When includeFrames is set the generated frames
+// come back per session, bounded by the server's per-step return limit;
+// otherwise positions advance with an empty body — the cheap bulk-warm
+// path for simulation drivers.
+func (c *Client) Step(ctx context.Context, ids []string, n int, includeFrames bool) ([]server.StepResult, error) {
+	var results []server.StepResult
+	req := server.StepRequest{IDs: ids, N: n, IncludeFrames: includeFrames}
+	err := c.doJSON(ctx, "POST", "/v1/streams/step", &req, &results)
+	return results, err
+}
+
 // Stream returns the session's current state.
 func (c *Client) Stream(ctx context.Context, id string) (server.SessionInfo, error) {
 	var info server.SessionInfo

@@ -34,6 +34,35 @@ func TestLoadgen32Streams(t *testing.T) {
 	}
 }
 
+// TestLoadgenStepAndTrunk drives the batched-stepping path and the trunk
+// smoke mode against one in-process daemon: the fleet advances through
+// POST /v1/streams/step before reading (verification then runs at the
+// stepped offset), and a 4-source trunk session is created, stepped, read,
+// and seek-replayed bit-identically to the offline trunk engine.
+func TestLoadgenStepAndTrunk(t *testing.T) {
+	s := server.New(server.Options{MaxSessions: 64})
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	var out, errOut bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", ts.URL, "-streams", "8", "-frames", "300", "-step", "200",
+		"-seed", "7000", "-trunk", "4",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("loadgen: %v\nstderr: %s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "8/8 streams ok") {
+		t.Fatalf("unexpected report: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "trunk smoke ok: 4 sources") {
+		t.Fatalf("missing trunk smoke report: %s", out.String())
+	}
+}
+
 func TestLoadgenMissingAddr(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run(context.Background(), nil, &out, &errOut); err == nil {

@@ -66,7 +66,12 @@ func main() {
 	for _, n := range []int{1, 2, 4, 8, 16} {
 		src := vbrsim.PathSource(single)
 		if n > 1 {
-			src = vbrsim.Superposition{Base: single, N: n}
+			// The trunk aggregate draws one split rng per replica in the
+			// same order Superposition did, so the numbers below are
+			// bit-identical to the hand-rolled version this replaced.
+			src = vbrsim.TrunkAggregate{Components: []vbrsim.TrunkComponent{
+				{Source: single, Count: n},
+			}}
 		}
 		service, err := vbrsim.ServiceForUtilization(float64(n)*model.MeanRate(), util)
 		if err != nil {

@@ -82,6 +82,44 @@ func main() {
 	}
 	fmt.Println("\nnote: with LRD video traffic the loss decays only polynomially in b —")
 	fmt.Println("doubling the buffer buys far less than Markovian models predict (Fig. 17).")
+
+	// Shared multiplexer: instead of giving each of N sources its own
+	// dedicated multiplexer (the single-source sweep above), route all N
+	// through one trunk with N times the capacity and N times the buffer.
+	// The trunk aggregate is the superposition engine behind trafficd's
+	// trunk sessions; here it feeds the same Monte-Carlo estimator.
+	const (
+		nTrunk     = 8
+		trunkUtil  = 0.6
+		trunkBuf   = 50.0 // per-source allocation, mean-frame units
+		trunkHoriz = 400
+		trunkReps  = 4000
+	)
+	single := vbrsim.ArrivalSource{Plan: plan, Transform: model.Transform}
+	service, err := vbrsim.ServiceForUtilization(model.MeanRate(), trunkUtil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dedicated, err := vbrsim.EstimateOverflowMC(single, service, trunkBuf*model.MeanRate(),
+		trunkHoriz, vbrsim.MCOptions{Replications: trunkReps, Seed: 900})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared := vbrsim.TrunkAggregate{Components: []vbrsim.TrunkComponent{
+		{Source: single, Count: nTrunk},
+	}}
+	pooled, err := vbrsim.EstimateOverflowMC(shared, float64(nTrunk)*service,
+		float64(nTrunk)*trunkBuf*model.MeanRate(), trunkHoriz,
+		vbrsim.MCOptions{Replications: trunkReps, Seed: 900})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nshared multiplexer (trunk of %d sources, util %.1f, b = %.0f per source):\n",
+		nTrunk, trunkUtil, trunkBuf)
+	fmt.Printf("  dedicated per-source multiplexer: P(loss) = %s\n", formatP(dedicated.P))
+	fmt.Printf("  one shared trunk multiplexer:     P(loss) = %s\n", formatP(pooled.P))
+	fmt.Println("pooling the buffer and capacity across sources absorbs bursts the")
+	fmt.Println("dedicated design drops — the multiplexing gain the paper opens with.")
 }
 
 func formatP(p float64) string {

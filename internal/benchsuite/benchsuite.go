@@ -60,6 +60,10 @@ func Suite() []Bench {
 		{"BatchExactFill/n=65536", BenchBatchExactFill65536},
 		{"StreamBlockRefill/n=7831", BenchStreamBlockRefill},
 		{"StreamStepMany/s=32,n=1024", BenchStreamStepMany},
+		{"TrunkFill/s=4", BenchTrunkFill4},
+		{"TrunkFill/s=64", BenchTrunkFill64},
+		{"TrunkFill/s=1024", BenchTrunkFill1024},
+		{"TrunkFillSerial/s=64", BenchTrunkFillSerial64},
 		{"RegistryCounterAdd", BenchRegistryCounterAdd},
 		{"SpanStartEnd/off", BenchSpanStartEndOff},
 		{"SpanStartEnd/on", BenchSpanStartEndOn},

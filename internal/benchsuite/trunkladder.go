@@ -1,0 +1,98 @@
+package benchsuite
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"vbrsim/internal/modelspec"
+	"vbrsim/internal/trunk"
+)
+
+// The trunk fan-out ladder measures superposition throughput as the source
+// count scales: N paper-model streams on the truncated fast engine (the
+// cheapest per-source state, so N=1024 stays in cache-friendly memory)
+// summed into one aggregate. The headline number is frames/sec/core of
+// aggregate output — each aggregate frame costs N component frames plus the
+// reduction — and the serial rung doubles as the zero-steady-state-alloc
+// gate recorded in BENCH_5.json.
+
+// trunkLadderSources are the ladder's source counts.
+var trunkLadderSources = []int{4, 64, 1024}
+
+// trunkFillFrames is the aggregate frames produced per op (spans several
+// trunkChunk fan-out rounds).
+const trunkFillFrames = 4096
+
+type trunkFixture struct {
+	trunks map[int]*trunk.Trunk // parallel fan-out, keyed by source count
+	serial *trunk.Trunk         // Workers=1, the alloc-gate rung
+}
+
+var (
+	trunkOnce sync.Once
+	trunkFix  trunkFixture
+	trunkErr  error
+)
+
+func trunkLadderSpec(n int, seed uint64) *modelspec.TrunkSpec {
+	paper := modelspec.Paper()
+	return &modelspec.TrunkSpec{
+		Seed: seed,
+		Components: []modelspec.TrunkComponent{
+			{Count: n, Spec: modelspec.Spec{ACF: paper.ACF, Marginal: paper.Marginal}},
+		},
+	}
+}
+
+func getTrunks(b *testing.B) *trunkFixture {
+	trunkOnce.Do(func() {
+		ctx := context.Background()
+		trunkFix.trunks = make(map[int]*trunk.Trunk, len(trunkLadderSources))
+		for _, n := range trunkLadderSources {
+			t, err := trunk.Open(ctx, trunkLadderSpec(n, 1), trunk.Options{})
+			if err != nil {
+				trunkErr = err
+				return
+			}
+			trunkFix.trunks[n] = t
+		}
+		trunkFix.serial, trunkErr = trunk.Open(ctx, trunkLadderSpec(64, 1), trunk.Options{Workers: 1})
+	})
+	if trunkErr != nil {
+		b.Fatal(trunkErr)
+	}
+	return &trunkFix
+}
+
+func benchTrunkFill(b *testing.B, t *trunk.Trunk) {
+	out := make([]float64, trunkFillFrames)
+	t.Fill(out) // warm the slab and the par pool before the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Fill(out)
+	}
+	elapsed := b.Elapsed()
+	frames := float64(b.N) * trunkFillFrames
+	b.ReportMetric(float64(elapsed.Nanoseconds())/frames, "ns/frame")
+	b.ReportMetric(frames/elapsed.Seconds()/float64(runtime.GOMAXPROCS(0)), "frames/sec/core")
+}
+
+// BenchTrunkFill4 fills aggregate frames from a 4-source trunk with the
+// full worker pool.
+func BenchTrunkFill4(b *testing.B) { benchTrunkFill(b, getTrunks(b).trunks[4]) }
+
+// BenchTrunkFill64 is the 64-source rung — the fleet-scale shape trafficd
+// trunk sessions serve.
+func BenchTrunkFill64(b *testing.B) { benchTrunkFill(b, getTrunks(b).trunks[64]) }
+
+// BenchTrunkFill1024 is the stress rung: a thousand component streams per
+// aggregate frame.
+func BenchTrunkFill1024(b *testing.B) { benchTrunkFill(b, getTrunks(b).trunks[1024]) }
+
+// BenchTrunkFillSerial64 runs the 64-source trunk single-threaded. Its
+// allocs_per_op column is the zero-steady-state-allocation gate: every
+// component row lives in the open-time slab, so a nonzero count is a
+// regression in the fan-out path.
+func BenchTrunkFillSerial64(b *testing.B) { benchTrunkFill(b, getTrunks(b).serial) }

@@ -138,6 +138,9 @@ func Suite() []Check {
 		fastBoundCheck{},
 		streamBatchCheck{},
 		queueTailCheck{},
+		trunkDeterminismCheck{},
+		trunkHurstCheck{},
+		trunkMuxGainCheck{},
 	}
 }
 

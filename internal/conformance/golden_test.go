@@ -54,6 +54,16 @@ func goldenSources(ctx context.Context) (map[string][]float64, error) {
 		return nil, err
 	}
 	out["stream_block"] = blockFrames
+	gopSpec := modelspec.Spec{
+		Seed:   goldenSeed,
+		Engine: modelspec.EngineGOP,
+		GOP:    &modelspec.GOPSpec{},
+	}
+	gopFrames, err := gopSpec.Frames(ctx, 0, goldenFrames, 0)
+	if err != nil {
+		return nil, err
+	}
+	out["stream_gop"] = gopFrames
 	return out, nil
 }
 

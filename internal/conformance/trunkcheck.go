@@ -1,0 +1,238 @@
+package conformance
+
+import (
+	"context"
+	"math"
+
+	"vbrsim/internal/hurst"
+	"vbrsim/internal/modelspec"
+	"vbrsim/internal/queue"
+	"vbrsim/internal/trunk"
+)
+
+// ---------------------------------------------------------------------------
+// Trunk family: statistical gates on the superposition engine. The paper's
+// trunk scenario multiplexes many VBR sources into one queue; these checks
+// pin the two properties that make that scenario worth modeling — long-range
+// dependence survives aggregation (superposition of self-similar sources is
+// self-similar with the same H), and sharing capacity across sources buys a
+// real reduction in tail overflow (statistical multiplexing gain) — plus the
+// engine's bit-determinism contract across worker counts and seek patterns.
+
+// homogeneousTrunkSpec is an N-replica trunk of the paper model on the
+// truncated fast engine, the configuration both statistical checks drive.
+func homogeneousTrunkSpec(n int, seed uint64) *modelspec.TrunkSpec {
+	paper := modelspec.Paper()
+	return &modelspec.TrunkSpec{
+		Seed: seed,
+		Components: []modelspec.TrunkComponent{
+			{Count: n, Spec: modelspec.Spec{ACF: paper.ACF, Marginal: paper.Marginal}},
+		},
+	}
+}
+
+// trunkHurstCheck gates Hurst preservation under superposition: the
+// aggregate of N independent H = 0.9 sources must itself estimate at H near
+// 0.9. Both graphical estimators carry the same finite-sample bias as on a
+// single source (see hurstCheck), so the intervals match that check's
+// calibration; an aggregate that averaged toward SRD (H -> 0.5) — the
+// failure mode of a summation that breaks inter-source independence or drops
+// the LRD tail — lands far outside.
+type trunkHurstCheck struct{}
+
+func (trunkHurstCheck) Name() string   { return "trunk-hurst-preservation" }
+func (trunkHurstCheck) Family() string { return "trunk" }
+
+func (c trunkHurstCheck) Run(ctx context.Context, cfg Config) Result {
+	res := Result{Name: c.Name(), Family: c.Family(), Passed: true}
+	n := 1 << 16
+	if cfg.Full {
+		n = 1 << 18
+	}
+	const sources = 8
+	spec := homogeneousTrunkSpec(sources, cfg.Seed+50)
+	tr, err := trunk.Open(ctx, spec, trunk.Options{Workers: cfg.Workers})
+	if err != nil {
+		return res.fail(err)
+	}
+	defer tr.Close()
+	x := make([]float64, n)
+	tr.Fill(x)
+
+	vt, err := hurst.VarianceTime(x, hurst.VarianceTimeOptions{})
+	if err != nil {
+		return res.fail(err)
+	}
+	rs, err := hurst.RS(x, hurst.RSOptions{})
+	if err != nil {
+		return res.fail(err)
+	}
+	res.gate("variance_time_h", vt.H, ">=", 0.70)
+	res.gate("variance_time_h", vt.H, "<=", 1.00)
+	res.gate("rs_h", rs.H, ">=", 0.75)
+	res.gate("rs_h", rs.H, "<=", 1.00)
+	avg := (vt.H + rs.H) / 2
+	res.gate("combined_h", avg, ">=", 0.78)
+	res.gate("combined_h", avg, "<=", 0.98)
+	res.note("aggregate of %d sources: VT H = %.3f (R² %.3f), R/S H = %.3f (R² %.3f), combined %.3f on n=%d",
+		sources, vt.H, vt.R2, rs.H, rs.R2, avg, n)
+	return res
+}
+
+// trunkMuxGainCheck gates statistical multiplexing gain: a queue serving an
+// N-source trunk at N times the single-source capacity and N times the
+// buffer must overflow less often than a dedicated queue serving one source
+// — the aggregate's relative burstiness shrinks like 1/sqrt(N) while the
+// capacity margin scales like N. Both sides run the same Lindley/MC
+// estimator at the same utilization, so the only difference is sharing.
+type trunkMuxGainCheck struct{}
+
+func (trunkMuxGainCheck) Name() string   { return "trunk-mux-gain" }
+func (trunkMuxGainCheck) Family() string { return "trunk" }
+
+// Mux-gain operating point: utilization matching the paper's mid-range
+// queue experiments and a small normalized buffer so the single-source
+// overflow is frequent enough for plain MC on the conformance budget.
+const (
+	muxGainUtil    = 0.7
+	muxGainBufNorm = 5.0
+	muxGainSources = 8
+)
+
+func (c trunkMuxGainCheck) Run(ctx context.Context, cfg Config) Result {
+	res := Result{Name: c.Name(), Family: c.Family(), Passed: true}
+	horizon, reps := 256, 3000
+	if cfg.Full {
+		horizon, reps = 512, 12000
+	}
+
+	single, err := trunk.NewPathSource(ctx, homogeneousTrunkSpec(1, cfg.Seed+60), trunk.Options{Workers: 1})
+	if err != nil {
+		return res.fail(err)
+	}
+	defer single.Close()
+	multi, err := trunk.NewPathSource(ctx, homogeneousTrunkSpec(muxGainSources, cfg.Seed+60), trunk.Options{Workers: 1})
+	if err != nil {
+		return res.fail(err)
+	}
+	defer multi.Close()
+
+	meanRate := single.MeanRate()
+	service, err := queue.UtilizationService(meanRate, muxGainUtil)
+	if err != nil {
+		return res.fail(err)
+	}
+	buffer := muxGainBufNorm * meanRate
+
+	opt := queue.MCOptions{Replications: reps, Workers: cfg.Workers, Seed: cfg.Seed + 61}
+	dedicated, err := queue.EstimateOverflowCtx(ctx, single, service, buffer, horizon, opt)
+	if err != nil {
+		return res.fail(err)
+	}
+	// The shared queue: N sources, N times the capacity, N times the buffer
+	// — identical utilization and identical per-source buffer allowance.
+	shared, err := queue.EstimateOverflowCtx(ctx, multi,
+		float64(muxGainSources)*service, float64(muxGainSources)*buffer, horizon, opt)
+	if err != nil {
+		return res.fail(err)
+	}
+
+	// The dedicated queue must see the event often (the gain gate is
+	// vacuous otherwise); the shared queue may legitimately see none.
+	res.gate("dedicated_hits", float64(dedicated.Hits), ">=", 30)
+
+	// The gain itself: the shared queue's overflow probability must sit
+	// well below the dedicated queue's — at least a factor of two below
+	// even after granting the estimates their combined 4-sigma noise.
+	combinedSE := math.Sqrt(dedicated.StdErr*dedicated.StdErr + shared.StdErr*shared.StdErr)
+	res.gate("mux_gain_margin", dedicated.P-2*shared.P, ">=", -4*combinedSE)
+	res.gate("shared_p_below_dedicated", shared.P, "<=", dedicated.P)
+	gain := math.Inf(1)
+	if shared.P > 0 {
+		gain = dedicated.P / shared.P
+	}
+	res.note("P(overflow) dedicated %.4g ± %.2g (%d/%d hits) vs shared(%d sources) %.4g ± %.2g (%d/%d hits): gain %.2gx",
+		dedicated.P, dedicated.StdErr, dedicated.Hits, dedicated.Replications,
+		muxGainSources, shared.P, shared.StdErr, shared.Hits, shared.Replications, gain)
+	return res
+}
+
+// trunkDeterminismCheck gates the engine's bit-determinism contract: a
+// heterogeneous trunk (both Gaussian engines, FARIMA, the GOP simulator,
+// TES) must produce bit-identical frames at every worker count, and
+// seek-and-resume must land exactly on the sequential playback — the
+// properties trafficd's replayable trunk sessions are built on.
+type trunkDeterminismCheck struct{}
+
+func (trunkDeterminismCheck) Name() string   { return "trunk-determinism" }
+func (trunkDeterminismCheck) Family() string { return "trunk" }
+
+func (c trunkDeterminismCheck) Run(ctx context.Context, cfg Config) Result {
+	res := Result{Name: c.Name(), Family: c.Family(), Passed: true}
+	n := 6000
+	if cfg.Full {
+		n = 30000
+	}
+	paper := modelspec.Paper()
+	spec := &modelspec.TrunkSpec{
+		Seed: cfg.Seed + 70,
+		Components: []modelspec.TrunkComponent{
+			{Count: 2, Spec: modelspec.Spec{ACF: paper.ACF, Engine: modelspec.EngineBlock}},
+			{Weight: 0.5, Spec: modelspec.Spec{ACF: modelspec.ACFSpec{Kind: modelspec.ACFFarima, D: 0.4}}},
+			{Spec: modelspec.Spec{Engine: modelspec.EngineGOP, GOP: &modelspec.GOPSpec{}}},
+			{Weight: 2, Spec: modelspec.Spec{Engine: modelspec.EngineTES, TES: &modelspec.TESSpec{Alpha: 0.3}}},
+		},
+		Marginal: paper.Marginal,
+	}
+
+	ref, err := trunk.Open(ctx, spec, trunk.Options{Workers: 1})
+	if err != nil {
+		return res.fail(err)
+	}
+	defer ref.Close()
+	want := make([]float64, n)
+	ref.Fill(want)
+
+	bitDiff := func(a, b []float64) float64 {
+		d := 0
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				d++
+			}
+		}
+		return float64(d)
+	}
+
+	// Worker-count invariance.
+	got := make([]float64, n)
+	for _, w := range []int{2, 4, 7} {
+		t, err := trunk.Open(ctx, spec, trunk.Options{Workers: w})
+		if err != nil {
+			return res.fail(err)
+		}
+		t.Fill(got)
+		t.Close()
+		res.gate("worker_mismatch_frames", bitDiff(want, got), "<=", 0)
+	}
+
+	// Seek patterns: backward, to zero, forward past the frontier — each
+	// resume must continue exactly on the sequential trace.
+	t, err := trunk.Open(ctx, spec, trunk.Options{Workers: cfg.Workers})
+	if err != nil {
+		return res.fail(err)
+	}
+	defer t.Close()
+	t.Fill(make([]float64, n/2))
+	probe := make([]float64, 256)
+	seekDiff := 0.0
+	for _, pos := range []int{n / 4, 0, n - 512, 3 * n / 4} {
+		if err := t.SeekCtx(ctx, pos); err != nil {
+			return res.fail(err)
+		}
+		t.Fill(probe)
+		seekDiff += bitDiff(want[pos:pos+len(probe)], probe)
+	}
+	res.gate("seek_mismatch_frames", seekDiff, "<=", 0)
+	res.note("heterogeneous trunk of %d sources: %d frames worker-invariant, 4 seek patterns bit-exact", ref.NumSources(), n)
+	return res
+}

@@ -315,3 +315,12 @@ func (g *TruncatedGenerator) Reset() {
 	g.pos = 0
 	g.buf = g.buf[:0]
 }
+
+// Reseed discards the path and re-keys the rng in place, so a pooled
+// generator produces the replication keyed by seed without allocating.
+// Reseed(s) then Next... is bit-identical to a fresh generator built with
+// rng.New(s).
+func (g *TruncatedGenerator) Reseed(seed uint64) {
+	g.rng.Reseed(seed)
+	g.Reset()
+}

@@ -2,6 +2,7 @@ package modelspec
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"math"
@@ -35,16 +36,37 @@ func FuzzModelSpecDecode(f *testing.F) {
 	f.Add([]byte(`{`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(``))
+	// ACF families beyond the composite knee.
+	f.Add([]byte(`{"acf":{"kind":"farima","d":0.4}}`))
+	f.Add([]byte(`{"acf":{"kind":"farima","d":0.3,"phi":0.5,"theta":-0.2},"engine":"block"}`))
+	f.Add([]byte(`{"acf":{"kind":"fgn","hurst":0.9}}`))
+	f.Add([]byte(`{"acf":{"kind":"fgn","hurst":1.5}}`))
+	f.Add([]byte(`{"acf":{"kind":"farima","d":0.4,"weights":[1],"rates":[0.1]}}`))
+	// Plan-free engines: the §3.3 GOP simulator and TES.
+	f.Add([]byte(`{"engine":"gop","gop":{}}`))
+	f.Add([]byte(`{"engine":"gop","gop":{"pattern":"IBBP","scene_alpha":1.4}}`))
+	f.Add([]byte(`{"engine":"gop","gop":{"pattern":"IXP"}}`))
+	f.Add([]byte(`{"engine":"gop"}`))
+	f.Add([]byte(`{"engine":"tes","tes":{"alpha":0.3},"marginal":{"kind":"lognormal","mu":9.6,"sigma":0.4}}`))
+	f.Add([]byte(`{"engine":"tes","tes":{"alpha":0.3,"zeta":0.7,"minus":true},"marginal":{"kind":"gamma","shape":2,"scale":1300}}`))
+	f.Add([]byte(`{"engine":"tes","tes":{"alpha":0.3}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec, err := Parse(data) // must not panic, whatever the bytes
 		if err != nil {
 			return
 		}
-		// Accepted specs must be internally consistent: Source materializes
-		// without error and the JSON round trip re-parses to an equally
-		// valid spec.
-		if _, _, err := spec.Source(); err != nil {
+		// Accepted specs must be internally consistent — the plan-free
+		// engines must open (cheap: no plan build), the Gaussian-background
+		// engines must materialize a Source — and the JSON round trip must
+		// re-parse to an equally valid spec.
+		if spec.Engine == EngineGOP || spec.Engine == EngineTES {
+			st, err := spec.OpenCtx(context.Background(), 0)
+			if err != nil {
+				t.Fatalf("Parse accepted a spec OpenCtx rejects: %v\ninput: %q", err, data)
+			}
+			st.Close()
+		} else if _, _, err := spec.Source(); err != nil {
 			t.Fatalf("Parse accepted a spec Source rejects: %v\ninput: %q", err, data)
 		}
 		wire, err := json.Marshal(spec)
@@ -54,6 +76,50 @@ func FuzzModelSpecDecode(f *testing.F) {
 		back, err := Parse(wire)
 		if err != nil {
 			t.Fatalf("marshal of an accepted spec does not re-parse: %v\nwire: %s", err, wire)
+		}
+		wire2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatalf("marshal is not stable:\nfirst:  %s\nsecond: %s", wire, wire2)
+		}
+	})
+}
+
+// FuzzTrunkSpecDecode hardens the trunk wire format the same way:
+// ParseTrunk must never panic, and accepted trunks must marshal stably
+// through a re-parse.
+func FuzzTrunkSpecDecode(f *testing.F) {
+	f.Add([]byte(`{"components":[{"spec":{"acf":{"weights":[1],"rates":[0.1],"l":1,"beta":0.2,"knee":10}}}]}`))
+	f.Add([]byte(`{"seed":7,"components":[` +
+		`{"count":4,"spec":{"acf":{"weights":[1],"rates":[0.1],"l":1,"beta":0.2,"knee":10},"engine":"block"}},` +
+		`{"weight":0.5,"spec":{"acf":{"kind":"farima","d":0.4}}},` +
+		`{"spec":{"engine":"gop","gop":{}}},` +
+		`{"spec":{"engine":"tes","tes":{"alpha":0.3}}}` +
+		`],"marginal":{"kind":"lognormal","mu":9.6,"sigma":0.4}}`))
+	f.Add([]byte(`{"components":[]}`))
+	f.Add([]byte(`{"components":[{"count":-1,"spec":{"acf":{"weights":[1],"rates":[0.1],"l":1,"beta":0.2,"knee":10}}}]}`))
+	f.Add([]byte(`{"components":[{"spec":{"seed":9,"acf":{"weights":[1],"rates":[0.1],"l":1,"beta":0.2,"knee":10}}}]}`))
+	f.Add([]byte(`{"components":[{"count":100000,"spec":{"acf":{"weights":[1],"rates":[0.1],"l":1,"beta":0.2,"knee":10}}}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseTrunk(data) // must not panic, whatever the bytes
+		if err != nil {
+			return
+		}
+		if spec.NumSources() < 1 {
+			t.Fatalf("ParseTrunk accepted a trunk with %d sources\ninput: %q", spec.NumSources(), data)
+		}
+		wire, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted trunk does not marshal: %v", err)
+		}
+		back, err := ParseTrunk(wire)
+		if err != nil {
+			t.Fatalf("marshal of an accepted trunk does not re-parse: %v\nwire: %s", err, wire)
 		}
 		wire2, err := json.Marshal(back)
 		if err != nil {

@@ -27,9 +27,13 @@ import (
 	"vbrsim/internal/acf"
 	"vbrsim/internal/core"
 	"vbrsim/internal/dist"
+	"vbrsim/internal/farima"
 	"vbrsim/internal/hosking"
+	"vbrsim/internal/mpegtrace"
 	"vbrsim/internal/rng"
 	"vbrsim/internal/streamblock"
+	"vbrsim/internal/tes"
+	"vbrsim/internal/trace"
 	"vbrsim/internal/transform"
 )
 
@@ -46,13 +50,20 @@ type Spec struct {
 	// Marginal is the foreground marginal; nil means standard normal (the
 	// stream is the background process itself).
 	Marginal *MarginalSpec `json:"marginal,omitempty"`
-	// Engine selects the background synthesis engine: "" or "truncated" for
-	// the AR(p) fast recursion (exact transform, the historical serving
-	// path), "block" for the overlapped-block Davies-Harte streaming engine
-	// (exact-FFT blocks, LUT transform, O(1) seek). Both are seed-
+	// Engine selects the synthesis engine: "" or "truncated" for the AR(p)
+	// fast recursion (exact transform, the historical serving path), "block"
+	// for the overlapped-block Davies-Harte streaming engine (exact-FFT
+	// blocks, LUT transform, O(1) seek), "gop" for the §3.3 interframe
+	// scene/GOP simulator (own correlation structure and marginal; see GOP),
+	// or "tes" for the TES modulo-1 process (see TES). All are seed-
 	// deterministic and identical offline vs served; their frame values
 	// differ between engines by construction.
 	Engine string `json:"engine,omitempty"`
+	// GOP configures the "gop" engine and must be set exactly for it.
+	GOP *GOPSpec `json:"gop,omitempty"`
+	// TES configures the "tes" engine and must be set exactly for it; the
+	// engine maps the TES background through Marginal (required).
+	TES *TESSpec `json:"tes,omitempty"`
 
 	// Fit metadata, written by FromModel for the record; not used for
 	// generation.
@@ -61,13 +72,89 @@ type Spec struct {
 	Foreground  *ACFSpec `json:"foreground,omitempty"`
 }
 
-// ACFSpec serializes the composite knee ACF.
+// ACF family names accepted by ACFSpec.Kind.
+const (
+	// ACFComposite is the paper's composite knee model (eqs. 10-12):
+	// exponential mixture before the knee, power law after. The zero Kind
+	// means composite, so every pre-Kind spec keeps its meaning.
+	ACFComposite = "composite"
+	// ACFFarima is the FARIMA(1,d,1) autocorrelation: pure fractional
+	// differencing when Phi and Theta are zero, otherwise the full
+	// short-memory×long-memory shape.
+	ACFFarima = "farima"
+	// ACFFGN is exact fractional Gaussian noise increments with Hurst H.
+	ACFFGN = "fgn"
+)
+
+// ACFSpec serializes the background autocorrelation. Kind selects the
+// family and which parameter fields apply; the zero Kind is the composite
+// knee model, keeping the original wire format valid unchanged.
 type ACFSpec struct {
-	Weights []float64 `json:"weights"`
-	Rates   []float64 `json:"rates"`
-	L       float64   `json:"l"`
-	Beta    float64   `json:"beta"`
-	Knee    int       `json:"knee"`
+	// Kind is one of "" / "composite" (Weights, Rates, L, Beta, Knee),
+	// "farima" (D, optionally Phi and Theta), or "fgn" (H).
+	Kind    string    `json:"kind,omitempty"`
+	Weights []float64 `json:"weights,omitempty"`
+	Rates   []float64 `json:"rates,omitempty"`
+	L       float64   `json:"l,omitempty"`
+	Beta    float64   `json:"beta,omitempty"`
+	Knee    int       `json:"knee,omitempty"`
+
+	// FARIMA(1,d,1) parameters (Kind "farima").
+	D     float64 `json:"d,omitempty"`
+	Phi   float64 `json:"phi,omitempty"`
+	Theta float64 `json:"theta,omitempty"`
+	// H is the fractional-Gaussian-noise Hurst parameter (Kind "fgn").
+	H float64 `json:"hurst,omitempty"`
+}
+
+// compositeFieldsZero reports whether the composite-family parameters are
+// all unset.
+func (a ACFSpec) compositeFieldsZero() bool {
+	return len(a.Weights) == 0 && len(a.Rates) == 0 && a.L == 0 && a.Beta == 0 && a.Knee == 0
+}
+
+// IsZero reports whether the spec is entirely unset (no family selected and
+// no parameters) — the form engines without a Gaussian background require.
+func (a ACFSpec) IsZero() bool {
+	return a.Kind == "" && a.compositeFieldsZero() && a.D == 0 && a.Phi == 0 && a.Theta == 0 && a.H == 0
+}
+
+// Model materializes and validates the spec's autocorrelation family.
+// Parameters belonging to a different family must be unset, so a typo'd
+// spec fails loudly rather than silently ignoring half its numbers.
+func (a ACFSpec) Model() (acf.Model, error) {
+	switch a.Kind {
+	case "", ACFComposite:
+		if a.D != 0 || a.Phi != 0 || a.Theta != 0 || a.H != 0 {
+			return nil, fmt.Errorf("modelspec: composite acf does not take d/phi/theta/hurst")
+		}
+		c := a.Composite()
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case ACFFarima:
+		if !a.compositeFieldsZero() || a.H != 0 {
+			return nil, fmt.Errorf("modelspec: farima acf takes only d, phi, theta")
+		}
+		if a.Phi == 0 && a.Theta == 0 {
+			m := farima.ACF{D: a.D}
+			if err := m.Validate(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
+		return farima.NewFull(a.Phi, a.D, a.Theta)
+	case ACFFGN:
+		if !a.compositeFieldsZero() || a.D != 0 || a.Phi != 0 || a.Theta != 0 {
+			return nil, fmt.Errorf("modelspec: fgn acf takes only hurst")
+		}
+		if a.H <= 0 || a.H >= 1 {
+			return nil, fmt.Errorf("modelspec: fgn hurst must lie in (0,1), got %v", a.H)
+		}
+		return acf.FGN{H: a.H}, nil
+	}
+	return nil, fmt.Errorf("modelspec: unknown acf kind %q (want %q, %q or %q)", a.Kind, ACFComposite, ACFFarima, ACFFGN)
 }
 
 // Composite converts the spec to the acf model.
@@ -131,18 +218,61 @@ func (m *MarginalSpec) Distribution() (dist.Distribution, error) {
 
 // Validate checks the spec without building plans.
 func (s *Spec) Validate() error {
-	if err := s.ACF.Composite().Validate(); err != nil {
-		return err
-	}
-	if s.Marginal != nil {
-		if _, err := s.Marginal.Distribution(); err != nil {
-			return err
-		}
-	}
 	switch s.Engine {
 	case "", EngineTruncated, EngineBlock:
+		if _, err := s.ACF.Model(); err != nil {
+			return err
+		}
+		if s.Marginal != nil {
+			if _, err := s.Marginal.Distribution(); err != nil {
+				return err
+			}
+		}
+		if s.GOP != nil {
+			return fmt.Errorf("modelspec: gop config requires engine %q", EngineGOP)
+		}
+		if s.TES != nil {
+			return fmt.Errorf("modelspec: tes config requires engine %q", EngineTES)
+		}
+	case EngineGOP:
+		if s.GOP == nil {
+			return fmt.Errorf("modelspec: engine %q needs a gop config", EngineGOP)
+		}
+		if err := s.GOP.Validate(); err != nil {
+			return err
+		}
+		if !s.ACF.IsZero() {
+			return fmt.Errorf("modelspec: engine %q generates its own correlation structure; acf must be empty", EngineGOP)
+		}
+		if s.Marginal != nil {
+			return fmt.Errorf("modelspec: engine %q generates its own marginal; drop the marginal", EngineGOP)
+		}
+		if s.TES != nil {
+			return fmt.Errorf("modelspec: tes config requires engine %q", EngineTES)
+		}
+	case EngineTES:
+		if s.TES == nil {
+			return fmt.Errorf("modelspec: engine %q needs a tes config", EngineTES)
+		}
+		if s.Marginal == nil {
+			return fmt.Errorf("modelspec: engine %q needs a marginal", EngineTES)
+		}
+		target, err := s.Marginal.Distribution()
+		if err != nil {
+			return err
+		}
+		if err := s.TES.config(target).Validate(); err != nil {
+			return err
+		}
+		if !s.ACF.IsZero() {
+			return fmt.Errorf("modelspec: engine %q takes its correlation from the tes config; acf must be empty", EngineTES)
+		}
+		if s.GOP != nil {
+			return fmt.Errorf("modelspec: gop config requires engine %q", EngineGOP)
+		}
 	default:
-		return fmt.Errorf("modelspec: unknown engine %q (want %q or %q)", s.Engine, EngineTruncated, EngineBlock)
+		return fmt.Errorf("modelspec: unknown engine %q (want %q, %q, %q or %q)",
+			s.Engine, EngineTruncated, EngineBlock, EngineGOP, EngineTES)
 	}
 	return nil
 }
@@ -164,9 +294,14 @@ func Parse(data []byte) (*Spec, error) {
 }
 
 // Source materializes the spec's background ACF and marginal transform.
+// Engines without a Gaussian background ("gop", "tes") have no source
+// decomposition and return an error; open them as a Stream instead.
 func (s *Spec) Source() (acf.Model, transform.T, error) {
 	if err := s.Validate(); err != nil {
 		return nil, transform.T{}, err
+	}
+	if s.Engine == EngineGOP || s.Engine == EngineTES {
+		return nil, transform.T{}, fmt.Errorf("modelspec: engine %q has no Gaussian background model", s.Engine)
 	}
 	var target dist.Distribution = dist.StdNormal
 	if s.Marginal != nil {
@@ -176,7 +311,11 @@ func (s *Spec) Source() (acf.Model, transform.T, error) {
 		}
 		target = d
 	}
-	return s.ACF.Composite(), transform.New(target), nil
+	model, err := s.ACF.Model()
+	if err != nil {
+		return nil, transform.T{}, err
+	}
+	return model, transform.New(target), nil
 }
 
 // SampleCap bounds the empirical-marginal sample FromModel embeds in a
@@ -248,7 +387,108 @@ const (
 	// exact-FFT blocks with AR(p)-conditional stitching, the LUT transform,
 	// and O(1) seek in either direction.
 	EngineBlock = "block"
+	// EngineGOP is the §3.3 interframe scene/GOP simulator promoted to a
+	// first-class backend: I/P/B frame sizes from heavy-tailed Pareto scenes
+	// with Gamma activity and AR(1) modulation. It generates its own
+	// correlation structure and long-tailed marginal, so the spec carries a
+	// GOPSpec instead of an ACF and marginal.
+	EngineGOP = "gop"
+	// EngineTES is the TES (Transform-Expand-Sample) generator: a modulo-1
+	// uniform background stitched and mapped through the spec marginal.
+	EngineTES = "tes"
 )
+
+// GOPSpec serializes the "gop" engine's configuration — the parameters of
+// mpegtrace.Config minus trace length and seed (streams are unbounded and
+// the seed lives on the Spec). Zero fields take the mpegtrace defaults,
+// matching that package's conventions; the zero GOPSpec is the paper-scale
+// encoder (H = 0.9, IBBPBBPBBPBB).
+type GOPSpec struct {
+	// Pattern is the group-of-pictures frame-type pattern, e.g.
+	// "IBBPBBPBBPBB" (the default).
+	Pattern string `json:"pattern,omitempty"`
+	// SceneAlpha is the Pareto tail index of scene durations in (1,2);
+	// H = (3-alpha)/2.
+	SceneAlpha float64 `json:"scene_alpha,omitempty"`
+	// SceneMinFrames is the minimum scene length in frames.
+	SceneMinFrames float64 `json:"scene_min_frames,omitempty"`
+	// ActivityShape/ActivityScale parameterize the Gamma per-scene activity.
+	ActivityShape float64 `json:"activity_shape,omitempty"`
+	ActivityScale float64 `json:"activity_scale,omitempty"`
+	// ModPhi/ModSigma parameterize the within-scene AR(1) log-modulation.
+	ModPhi   float64 `json:"mod_phi,omitempty"`
+	ModSigma float64 `json:"mod_sigma,omitempty"`
+	// IScale, PScale, BScale are the frame-type size multipliers.
+	IScale float64 `json:"i_scale,omitempty"`
+	PScale float64 `json:"p_scale,omitempty"`
+	BScale float64 `json:"b_scale,omitempty"`
+	// FrameNoiseSigma is the per-frame lognormal noise sigma.
+	FrameNoiseSigma float64 `json:"frame_noise_sigma,omitempty"`
+}
+
+// Config converts the spec to an mpegtrace configuration (Frames left zero:
+// streams are unbounded).
+func (g *GOPSpec) Config(seed uint64) (mpegtrace.Config, error) {
+	cfg := mpegtrace.Config{
+		SceneAlpha:      g.SceneAlpha,
+		SceneMinFrames:  g.SceneMinFrames,
+		ActivityShape:   g.ActivityShape,
+		ActivityScale:   g.ActivityScale,
+		ModPhi:          g.ModPhi,
+		ModSigma:        g.ModSigma,
+		IScale:          g.IScale,
+		PScale:          g.PScale,
+		BScale:          g.BScale,
+		FrameNoiseSigma: g.FrameNoiseSigma,
+		Seed:            seed,
+	}
+	if g.Pattern != "" {
+		gop := make([]trace.FrameType, len(g.Pattern))
+		for i, c := range g.Pattern {
+			ft, err := trace.ParseFrameType(string(c))
+			if err != nil {
+				return cfg, fmt.Errorf("modelspec: gop pattern: %w", err)
+			}
+			gop[i] = ft
+		}
+		cfg.GOP = gop
+	}
+	return cfg, nil
+}
+
+// Validate checks the gop configuration by materializing it.
+func (g *GOPSpec) Validate() error {
+	cfg, err := g.Config(0)
+	if err != nil {
+		return err
+	}
+	cfg.Frames = 1 // streams are unbounded; satisfy the finite-trace check
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("modelspec: %w", err)
+	}
+	return nil
+}
+
+// TESSpec serializes the "tes" engine's configuration. The foreground
+// marginal comes from the enclosing Spec.Marginal.
+type TESSpec struct {
+	// Alpha is the innovation width in (0,1]: small alpha means strong
+	// positive background correlation.
+	Alpha float64 `json:"alpha"`
+	// Zeta is the stitching parameter in (0,1]; 0 means 0.5 (symmetric).
+	Zeta float64 `json:"zeta,omitempty"`
+	// Minus selects the TES- variant (alternating reflection).
+	Minus bool `json:"minus,omitempty"`
+}
+
+// config assembles the tes.Config for the given foreground marginal.
+func (t *TESSpec) config(target dist.Distribution) tes.Config {
+	zeta := t.Zeta
+	if zeta == 0 {
+		zeta = 0.5
+	}
+	return tes.Config{Alpha: t.Alpha, Zeta: zeta, Marginal: target, Minus: t.Minus}
+}
 
 // Stream is the deterministic generation loop for a spec: an unbounded
 // background generator — the truncated-AR recursion or the overlapped-block
@@ -256,14 +496,18 @@ const (
 // cache, mapped through the marginal transform. It is bound to a single
 // goroutine; trafficd serializes access per session.
 type Stream struct {
-	trunc *hosking.Truncated
+	trunc *hosking.Truncated // nil for the gop and tes engines
 	tr    transform.T
 	seed  uint64
+	mean  float64 // stationary foreground mean (bytes per frame)
 
-	// Exactly one of gen (truncated engine) and blk (block engine) is set.
+	// Exactly one of gen (truncated engine), blk (block engine), gop and
+	// tes is set.
 	gen *hosking.TruncatedGenerator
 	blk *streamblock.Stream
 	lut *transform.LUT
+	gop *mpegtrace.Generator
+	tes *tes.Generator
 }
 
 // OpenCtx builds the stream for the spec: plan acquisition (cached,
@@ -271,6 +515,31 @@ type Stream struct {
 // block engine and the transform LUT. tol is the partial-correlation cutoff
 // (0 = default). The stream starts at frame 0.
 func (s *Spec) OpenCtx(ctx context.Context, tol float64) (*Stream, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Engine {
+	case EngineGOP:
+		cfg, err := s.GOP.Config(s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		g, err := mpegtrace.NewGenerator(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Stream{seed: s.Seed, gop: g, mean: cfg.MeanBytesPerFrame()}, nil
+	case EngineTES:
+		target, err := s.Marginal.Distribution()
+		if err != nil {
+			return nil, err
+		}
+		g, err := tes.New(s.TES.config(target), rng.New(s.Seed))
+		if err != nil {
+			return nil, err
+		}
+		return &Stream{seed: s.Seed, tes: g, mean: target.Mean()}, nil
+	}
 	model, tr, err := s.Source()
 	if err != nil {
 		return nil, err
@@ -279,7 +548,7 @@ func (s *Spec) OpenCtx(ctx context.Context, tol float64) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &Stream{trunc: trunc, tr: tr, seed: s.Seed}
+	st := &Stream{trunc: trunc, tr: tr, seed: s.Seed, mean: tr.Target.Mean()}
 	if s.Engine == EngineBlock {
 		eng, err := streamblock.EngineFor(model, trunc, streamblock.Config{})
 		if err != nil {
@@ -298,6 +567,12 @@ func (s *Spec) OpenCtx(ctx context.Context, tol float64) (*Stream, error) {
 }
 
 func (st *Stream) reset() {
+	if st.gen != nil {
+		// Re-key in place: bit-identical to a fresh generator, but without
+		// allocating (pooled trunk components reseed on every replication).
+		st.gen.Reseed(st.seed)
+		return
+	}
 	st.gen = hosking.NewTruncatedGenerator(st.trunc, rng.New(st.seed))
 }
 
@@ -312,8 +587,13 @@ func (st *Stream) Close() {
 
 // Pos returns the index of the next frame the stream will produce.
 func (st *Stream) Pos() int {
-	if st.blk != nil {
+	switch {
+	case st.blk != nil:
 		return st.blk.Pos()
+	case st.gop != nil:
+		return st.gop.Pos()
+	case st.tes != nil:
+		return st.tes.Pos()
 	}
 	return st.gen.Pos()
 }
@@ -321,28 +601,81 @@ func (st *Stream) Pos() int {
 // Seed returns the seed driving the stream.
 func (st *Stream) Seed() uint64 { return st.seed }
 
-// Order returns the AR truncation order of the underlying fast plan (for
-// the block engine: the stitch overlap length).
-func (st *Stream) Order() int { return st.trunc.Order() }
+// Reseed rewinds the stream to frame 0 of the trace keyed by seed,
+// discarding generator state but keeping plans, LUTs and arenas. Reseeding
+// with Seed() replays the stream bit-identically; the trunk engine uses
+// this to re-key pooled component streams per replication without
+// allocating.
+func (st *Stream) Reseed(seed uint64) {
+	st.seed = seed
+	switch {
+	case st.blk != nil:
+		st.blk.Reseed(seed)
+	case st.gop != nil:
+		st.gop.Reseed(seed)
+	case st.tes != nil:
+		st.tes.Reseed(seed)
+	default:
+		st.reset()
+	}
+}
 
-// MaxACFError returns the measured ACF error of the truncation.
-func (st *Stream) MaxACFError() float64 { return st.trunc.MaxACFError() }
+// Order returns the AR truncation order of the underlying fast plan (for
+// the block engine: the stitch overlap length). The gop and tes engines
+// have no Gaussian plan and report 0.
+func (st *Stream) Order() int {
+	if st.trunc == nil {
+		return 0
+	}
+	return st.trunc.Order()
+}
+
+// MaxACFError returns the measured ACF error of the truncation (0 for the
+// plan-free gop and tes engines).
+func (st *Stream) MaxACFError() float64 {
+	if st.trunc == nil {
+		return 0
+	}
+	return st.trunc.MaxACFError()
+}
+
+// MeanRate returns the stationary mean frame size in bytes — the quantity
+// service-rate provisioning scales against: the marginal mean for the
+// transform engines and tes, the analytic encoder mean for gop.
+func (st *Stream) MeanRate() float64 { return st.mean }
 
 // Next produces the next foreground frame (bytes per frame).
 func (st *Stream) Next() float64 {
-	if st.blk != nil {
+	switch {
+	case st.blk != nil:
 		return st.lut.Apply(st.blk.Next())
+	case st.gop != nil:
+		size, _ := st.gop.Next()
+		return size
+	case st.tes != nil:
+		return st.tes.Next()
 	}
 	return st.tr.Apply(st.gen.Next())
 }
 
 // Fill produces len(out) consecutive frames.
 func (st *Stream) Fill(out []float64) {
-	if st.blk != nil {
+	switch {
+	case st.blk != nil:
 		// Background block fill, then the LUT in place — bit-identical to
 		// Next (same LUT evaluation), with no intermediate buffer.
 		st.blk.Fill(out)
 		st.lut.ApplyTo(out, out)
+		return
+	case st.gop != nil:
+		for i := range out {
+			out[i], _ = st.gop.Next()
+		}
+		return
+	case st.tes != nil:
+		for i := range out {
+			out[i] = st.tes.Next()
+		}
 		return
 	}
 	for i := range out {
@@ -374,16 +707,26 @@ func (st *Stream) SeekCtx(ctx context.Context, pos int) error {
 		st.blk.Seek(pos)
 		return nil
 	}
-	if pos < st.gen.Pos() {
-		st.reset()
+	if pos < st.Pos() {
+		if st.gen != nil {
+			st.reset()
+		} else {
+			st.Reseed(st.seed) // gop/tes: rewind and replay from the seed
+		}
 	}
-	for n := 0; st.gen.Pos() < pos; n++ {
+	// Replay skips the marginal transform on the truncated engine (it is
+	// stateless); the gop and tes engines step their own foreground draw.
+	step := st.Next
+	if st.gen != nil {
+		step = st.gen.Next
+	}
+	for n := 0; st.Pos() < pos; n++ {
 		if n%seekCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		st.gen.Next()
+		step()
 	}
 	return nil
 }

@@ -145,13 +145,139 @@ func (c Config) TargetHurst() float64 {
 	return (3 - cc.SceneAlpha) / 2
 }
 
-// Generate produces the synthetic trace.
+// MeanBytesPerFrame returns the analytic stationary mean frame size implied
+// by the configuration: E[activity]·E[e^mod]·E[scale]·E[noise] with
+// Gamma activity (shape·scale), lognormal modulation and noise factors
+// (e^{σ²/2}), and the frame-type scale averaged over the GOP pattern. The
+// 64-byte floor and rounding are ignored; for default-scale configurations
+// they shift the mean by well under a percent.
+func (c Config) MeanBytesPerFrame() float64 {
+	cc := c.withDefaults()
+	var scaleSum float64
+	for _, ft := range cc.GOP {
+		switch ft {
+		case trace.FrameI:
+			scaleSum += cc.IScale
+		case trace.FrameP:
+			scaleSum += cc.PScale
+		default:
+			scaleSum += cc.BScale
+		}
+	}
+	meanScale := scaleSum / float64(len(cc.GOP))
+	meanActivity := cc.ActivityShape * cc.ActivityScale
+	return meanActivity *
+		math.Exp(cc.ModSigma*cc.ModSigma/2) *
+		meanScale *
+		math.Exp(cc.FrameNoiseSigma*cc.FrameNoiseSigma/2)
+}
+
+// Generator steps the synthetic encoder one frame at a time, carrying the
+// scene state (remaining scene length, activity level, AR(1) modulation)
+// across calls. Its draw order is exactly that of Generate, so N calls to
+// Next reproduce Generate's first N frames bit for bit; that makes the GOP
+// model servable as an unbounded deterministic stream (seek = reseed and
+// replay).
+type Generator struct {
+	cfg Config // defaults filled
+	r   *rng.Source
+	pos int
+
+	sceneLeft int
+	activity  float64
+	// Within-scene AR(1) log-modulation with stationary std ModSigma.
+	innov, mod float64
+}
+
+// NewGenerator validates cfg and returns a generator positioned at frame 0.
+// cfg.Frames may be zero: a streaming generator is unbounded.
+func NewGenerator(cfg Config) (*Generator, error) {
+	vc := cfg
+	if vc.Frames == 0 {
+		vc.Frames = 1 // streams are unbounded; satisfy the finite-trace check
+	}
+	if err := vc.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{cfg: cfg.withDefaults()}
+	g.innov = g.cfg.ModSigma * math.Sqrt(1-g.cfg.ModPhi*g.cfg.ModPhi)
+	g.Reseed(g.cfg.Seed)
+	return g, nil
+}
+
+// Reseed rewinds the generator to frame 0 of the trace keyed by seed,
+// discarding all scene state. Reseed(Seed()) replays the stream from the
+// start bit-identically.
+func (g *Generator) Reseed(seed uint64) {
+	g.cfg.Seed = seed
+	if g.r == nil {
+		g.r = rng.New(seed)
+	} else {
+		g.r.Reseed(seed)
+	}
+	g.pos = 0
+	g.sceneLeft = 0
+	g.activity = 0
+	g.mod = g.cfg.ModSigma * g.r.Norm()
+}
+
+// Seed returns the seed of the trace being generated.
+func (g *Generator) Seed() uint64 { return g.cfg.Seed }
+
+// Pos returns the index of the next frame Next will produce.
+func (g *Generator) Pos() int { return g.pos }
+
+// Config returns the generator's configuration with defaults filled.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Next produces the next frame's size in bytes and its GOP frame type.
+func (g *Generator) Next() (size float64, ft trace.FrameType) {
+	c := &g.cfg
+	if g.sceneLeft == 0 {
+		// New scene: heavy-tailed duration, fresh activity level.
+		g.sceneLeft = int(g.r.Pareto(c.SceneAlpha, c.SceneMinFrames))
+		if g.sceneLeft < 1 {
+			g.sceneLeft = 1
+		}
+		g.activity = g.r.Gamma(c.ActivityShape, c.ActivityScale)
+		// A scene cut usually resets the modulation (new content).
+		g.mod = c.ModSigma * g.r.Norm()
+	}
+	g.sceneLeft--
+
+	g.mod = c.ModPhi*g.mod + g.innov*g.r.Norm()
+
+	ft = c.GOP[g.pos%len(c.GOP)]
+	var scale float64
+	switch ft {
+	case trace.FrameI:
+		scale = c.IScale
+	case trace.FrameP:
+		scale = c.PScale
+	default:
+		scale = c.BScale
+	}
+	noise := math.Exp(c.FrameNoiseSigma * g.r.Norm())
+	size = g.activity * math.Exp(g.mod) * scale * noise
+	// MPEG frames always carry headers; floor at a small positive size.
+	if size < 64 {
+		size = 64
+	}
+	g.pos++
+	return math.Round(size), ft
+}
+
+// Generate produces the synthetic trace by stepping a Generator cfg.Frames
+// times.
 func Generate(cfg Config) (*trace.Trace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := cfg.withDefaults()
-	r := rng.New(c.Seed)
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := g.cfg
 
 	tr := &trace.Trace{
 		Sizes:     make([]float64, c.Frames),
@@ -159,47 +285,8 @@ func Generate(cfg Config) (*trace.Trace, error) {
 		FrameRate: c.FrameRate,
 		GOPLength: len(c.GOP),
 	}
-
-	// Scene state.
-	sceneLeft := 0
-	activity := 0.0
-	// Within-scene AR(1) log-modulation with stationary std ModSigma.
-	innov := c.ModSigma * math.Sqrt(1-c.ModPhi*c.ModPhi)
-	mod := c.ModSigma * r.Norm()
-
 	for i := 0; i < c.Frames; i++ {
-		if sceneLeft == 0 {
-			// New scene: heavy-tailed duration, fresh activity level.
-			sceneLeft = int(r.Pareto(c.SceneAlpha, c.SceneMinFrames))
-			if sceneLeft < 1 {
-				sceneLeft = 1
-			}
-			activity = r.Gamma(c.ActivityShape, c.ActivityScale)
-			// A scene cut usually resets the modulation (new content).
-			mod = c.ModSigma * r.Norm()
-		}
-		sceneLeft--
-
-		mod = c.ModPhi*mod + innov*r.Norm()
-
-		ft := c.GOP[i%len(c.GOP)]
-		var scale float64
-		switch ft {
-		case trace.FrameI:
-			scale = c.IScale
-		case trace.FrameP:
-			scale = c.PScale
-		default:
-			scale = c.BScale
-		}
-		noise := math.Exp(c.FrameNoiseSigma * r.Norm())
-		size := activity * math.Exp(mod) * scale * noise
-		// MPEG frames always carry headers; floor at a small positive size.
-		if size < 64 {
-			size = 64
-		}
-		tr.Sizes[i] = math.Round(size)
-		tr.Types[i] = ft
+		tr.Sizes[i], tr.Types[i] = g.Next()
 	}
 	return tr, nil
 }

@@ -200,6 +200,85 @@ func TestValidatePropagatedByGenerate(t *testing.T) {
 	}
 }
 
+func TestGeneratorMatchesGenerate(t *testing.T) {
+	// The stepping generator must reproduce Generate bit for bit: the trunk
+	// engine and trafficd serve GOP streams through Next, and seek-&-resume
+	// determinism rests on this equivalence.
+	cfg := Config{Frames: 20000, Seed: 99}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(Config{Seed: 99}) // unbounded: Frames omitted
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Sizes {
+		size, ft := g.Next()
+		if size != tr.Sizes[i] || ft != tr.Types[i] {
+			t.Fatalf("frame %d: generator (%v,%v) != Generate (%v,%v)",
+				i, size, ft, tr.Sizes[i], tr.Types[i])
+		}
+	}
+	if g.Pos() != cfg.Frames {
+		t.Errorf("Pos = %d, want %d", g.Pos(), cfg.Frames)
+	}
+}
+
+func TestGeneratorReseedReplay(t *testing.T) {
+	g, err := NewGenerator(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make([]float64, 4096)
+	for i := range first {
+		first[i], _ = g.Next()
+	}
+	g.Reseed(g.Seed())
+	if g.Pos() != 0 {
+		t.Fatalf("Pos after Reseed = %d", g.Pos())
+	}
+	for i := range first {
+		size, _ := g.Next()
+		if size != first[i] {
+			t.Fatalf("replay diverged at frame %d: %v != %v", i, size, first[i])
+		}
+	}
+	// A different seed must produce a different stream.
+	g.Reseed(6)
+	same := 0
+	for i := range first {
+		size, _ := g.Next()
+		if size == first[i] {
+			same++
+		}
+	}
+	if same > len(first)/10 {
+		t.Errorf("reseed(6) matched %d/%d frames of seed 5", same, len(first))
+	}
+}
+
+func TestMeanBytesPerFrame(t *testing.T) {
+	// Use a mild scene tail (alpha=1.9) so the sample mean converges well
+	// enough to check the analytic formula.
+	cfg := Config{Frames: 1 << 18, Seed: 11, SceneAlpha: 1.9}
+	want := cfg.MeanBytesPerFrame()
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stats.Mean(tr.Sizes)
+	if rel := math.Abs(got-want) / want; rel > 0.08 {
+		t.Errorf("sample mean %v vs analytic %v (rel err %.3f)", got, want, rel)
+	}
+	// The default config's analytic mean must sit in the paper's Fig. 1
+	// range (a few thousand bytes/frame).
+	def := Config{}.MeanBytesPerFrame()
+	if def < 1000 || def > 10000 {
+		t.Errorf("default analytic mean %v out of plausible range", def)
+	}
+}
+
 func BenchmarkGenerate65536(b *testing.B) {
 	cfg := Config{Frames: 1 << 16, Seed: 1}
 	b.ResetTimer()

@@ -7,6 +7,7 @@ import (
 	"vbrsim/internal/obs"
 	"vbrsim/internal/par"
 	"vbrsim/internal/streamblock"
+	"vbrsim/internal/trunk"
 )
 
 // metrics binds the daemon's instruments to an obs.Registry. All metric
@@ -18,6 +19,7 @@ type metrics struct {
 
 	sessionsActive  *obs.Gauge
 	sessionsTotal   *obs.Counter
+	trunkSessions   *obs.Gauge
 	streamsRejected *obs.Counter
 	framesStreamed  *obs.Counter
 	streamFrames    *obs.Histogram
@@ -49,6 +51,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Streaming sessions currently open."),
 		sessionsTotal: reg.Counter("vbrsim_sessions_total",
 			"Streaming sessions created since start."),
+		trunkSessions: reg.Gauge("vbrsim_trunk_sessions_active",
+			"Trunk superposition sessions currently open."),
 		streamsRejected: reg.Counter("vbrsim_streams_rejected_total",
 			"Stream creations rejected (session cap or drain)."),
 		framesStreamed: reg.Counter("vbrsim_frames_streamed_total",
@@ -88,6 +92,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 	}
 	hosking.Shared.RegisterMetrics(reg)
 	streamblock.RegisterMetrics(reg)
+	trunk.RegisterMetrics(reg)
 	return m
 }
 

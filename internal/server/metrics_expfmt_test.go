@@ -38,6 +38,9 @@ var documentedMetrics = map[string]string{
 	"vbrsim_streamblock_refills_total":           "counter",
 	"vbrsim_streamblock_arena_bytes":             "gauge",
 	"vbrsim_streamblock_block_ns":                "histogram",
+	"vbrsim_trunk_sessions_active":               "gauge",
+	"vbrsim_trunk_sources_active":                "gauge",
+	"vbrsim_trunk_fanout_ns":                     "histogram",
 }
 
 // TestMetricsExpositionComplete scrapes a fresh server's /metrics through

@@ -8,6 +8,7 @@
 //	GET    /healthz                      liveness (503 while draining)
 //	GET    /metrics                      Prometheus text format
 //	POST   /v1/streams                   create a session from a modelspec
+//	POST   /v1/trunks                    create a superposition session from a trunk spec
 //	POST   /v1/streams/step              advance many sessions in one batch
 //	GET    /v1/streams                   list sessions
 //	GET    /v1/streams/{id}              session state
@@ -20,7 +21,10 @@
 // Sessions are deterministic: a session's frames are a pure function of its
 // spec and seed, so a client that reconnects can replay any range with
 // from=, and the same spec and seed generated offline (modelspec.Frames or
-// cmd/synth with the fast backend) yield bit-identical values.
+// cmd/synth with the fast backend) yield bit-identical values. Trunk
+// sessions extend the same contract to superpositions: every component
+// seed derives from the trunk seed (internal/trunk), so the aggregate too
+// is reproducible offline from the create response alone.
 package server
 
 import (
@@ -132,6 +136,7 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", reg.Handler())
 	s.mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
+	s.mux.HandleFunc("POST /v1/trunks", s.handleTrunkCreate)
 	s.mux.HandleFunc("POST /v1/streams/step", s.handleStreamStep)
 	s.mux.HandleFunc("GET /v1/streams", s.handleStreamList)
 	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamGet)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -13,27 +14,46 @@ import (
 	"time"
 
 	"vbrsim/internal/modelspec"
+	"vbrsim/internal/trunk"
 )
 
-// session is one named generation stream: a modelspec.Stream plus the
+// frameStream is what a session serves: the deterministic frame surface
+// shared by modelspec.Stream (single source) and trunk.Trunk (superposition
+// of many). Both are bound to one goroutine; the session mutex provides
+// that binding on the HTTP side.
+type frameStream interface {
+	Pos() int
+	Order() int
+	MaxACFError() float64
+	Fill(out []float64)
+	SeekCtx(ctx context.Context, pos int) error
+	Close()
+}
+
+// session is one named generation stream: a frameStream plus the
 // bookkeeping the HTTP layer needs. The mutex serializes frame production —
 // concurrent reads of the same session see disjoint, consecutive frame
 // ranges unless they pin an explicit from= offset.
 type session struct {
 	id      string
 	name    string
+	kind    string // "" for plain streams, "trunk" for superpositions
+	sources int    // flattened source count (trunk sessions only)
 	seed    uint64
 	created time.Time
 
 	mu     sync.Mutex
-	stream *modelspec.Stream
+	stream frameStream
 	served uint64 // frames written over all requests
 }
 
-// SessionInfo is the public view of a session.
+// SessionInfo is the public view of a session. Kind and Sources are set
+// only for trunk sessions, so plain-stream responses are unchanged.
 type SessionInfo struct {
 	ID          string    `json:"id"`
 	Name        string    `json:"name"`
+	Kind        string    `json:"kind,omitempty"`
+	Sources     int       `json:"sources,omitempty"`
 	Seed        uint64    `json:"seed"`
 	Pos         int       `json:"pos"`
 	Served      uint64    `json:"frames_served"`
@@ -48,6 +68,8 @@ func (ss *session) info() SessionInfo {
 	return SessionInfo{
 		ID:          ss.id,
 		Name:        ss.name,
+		Kind:        ss.kind,
+		Sources:     ss.sources,
 		Seed:        ss.seed,
 		Pos:         ss.stream.Pos(),
 		Served:      ss.served,
@@ -75,6 +97,9 @@ func (s *Server) addSession(ss *session) error {
 	s.sessions[ss.id] = ss
 	s.metrics.sessionsActive.Add(1)
 	s.metrics.sessionsTotal.Inc()
+	if ss.kind == sessionKindTrunk {
+		s.metrics.trunkSessions.Add(1)
+	}
 	return nil
 }
 
@@ -94,6 +119,9 @@ func (s *Server) removeSession(id string) bool {
 	}
 	delete(s.sessions, id)
 	s.metrics.sessionsActive.Add(-1)
+	if ss.kind == sessionKindTrunk {
+		s.metrics.trunkSessions.Add(-1)
+	}
 	s.mu.Unlock()
 	// Release engine-side accounting (the block engine's arena-bytes gauge).
 	// Stream.Close touches no buffers, so an in-flight read that still holds
@@ -149,6 +177,66 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	ss := &session{name: name, seed: spec.Seed, created: time.Now(), stream: stream}
 	if err := s.addSession(ss); err != nil {
 		s.metrics.streamsRejected.Inc()
+		stream.Close()
+		code := http.StatusTooManyRequests
+		if errors.Is(err, errDraining) {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, ss.info())
+}
+
+// sessionKindTrunk marks superposition sessions in the registry and the
+// public SessionInfo.
+const sessionKindTrunk = "trunk"
+
+// handleTrunkCreate opens a superposition session: N independently seeded
+// component streams multiplexed into one aggregate, served through the same
+// frames/step/delete surface as a plain stream. The trunk seed is derived
+// exactly like a stream seed when the spec leaves it 0, and every component
+// seed derives from the trunk seed, so the response's seed alone reproduces
+// the whole aggregate offline (trunk.Open with the same spec).
+func (s *Server) handleTrunkCreate(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+	var spec modelspec.TrunkSpec
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if spec.Seed == 0 {
+		spec.Seed = deriveSeed(s.opt.Seed, s.seedOrdinal.Add(1))
+	}
+	tr, err := trunk.Open(r.Context(), &spec, trunk.Options{Tol: s.opt.Tol})
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing to report
+		}
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	name := spec.Name
+	if name == "" {
+		name = sessionKindTrunk
+	}
+	ss := &session{
+		name:    name,
+		kind:    sessionKindTrunk,
+		sources: tr.NumSources(),
+		seed:    spec.Seed,
+		created: time.Now(),
+		stream:  tr,
+	}
+	if err := s.addSession(ss); err != nil {
+		s.metrics.streamsRejected.Inc()
+		tr.Close()
 		code := http.StatusTooManyRequests
 		if errors.Is(err, errDraining) {
 			code = http.StatusServiceUnavailable

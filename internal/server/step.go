@@ -24,8 +24,8 @@ const maxStepFrames = 1 << 20
 // returned in the JSON response body rather than discarded.
 const maxStepReturnFrames = 1 << 16
 
-// stepRequest is the POST /v1/streams/step body.
-type stepRequest struct {
+// StepRequest is the POST /v1/streams/step body.
+type StepRequest struct {
 	// IDs lists the sessions to advance, in response order.
 	IDs []string `json:"ids"`
 	// N is the frame count each listed session advances by.
@@ -36,8 +36,8 @@ type stepRequest struct {
 	IncludeFrames bool `json:"include_frames,omitempty"`
 }
 
-// stepResult is one session's outcome in the step response.
-type stepResult struct {
+// StepResult is one session's outcome in the step response.
+type StepResult struct {
 	ID    string `json:"id"`
 	Start int    `json:"start"` // position before the step
 	Pos   int    `json:"pos"`   // position after the step
@@ -54,7 +54,7 @@ type stepResult struct {
 // batch composition or worker scheduling.
 func (s *Server) handleStreamStep(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
-	var req stepRequest
+	var req StepRequest
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -87,7 +87,7 @@ func (s *Server) handleStreamStep(w http.ResponseWriter, r *http.Request) {
 		sessions[i] = ss
 	}
 
-	results := make([]stepResult, len(sessions))
+	results := make([]StepResult, len(sessions))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > stepBatch {
 		workers = stepBatch
@@ -101,7 +101,7 @@ func (s *Server) handleStreamStep(w http.ResponseWriter, r *http.Request) {
 		par.For(par.Workers(workers, len(batch)), len(batch), func(_, i int) {
 			ss := batch[i]
 			ss.mu.Lock()
-			res := stepResult{ID: ss.id, Start: ss.stream.Pos()}
+			res := StepResult{ID: ss.id, Start: ss.stream.Pos()}
 			if req.IncludeFrames {
 				res.Frames = make([]float64, req.N)
 				ss.stream.Fill(res.Frames)

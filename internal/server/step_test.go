@@ -84,13 +84,13 @@ func TestStreamStepAdvancesBatch(t *testing.T) {
 		specs = append(specs, spec)
 	}
 
-	resp := postJSON(t, ts.URL+"/v1/streams/step", stepRequest{IDs: ids, N: stepN})
+	resp := postJSON(t, ts.URL+"/v1/streams/step", StepRequest{IDs: ids, N: stepN})
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		t.Fatalf("step: %d %s", resp.StatusCode, body)
 	}
-	results := decodeJSON[[]stepResult](t, resp)
+	results := decodeJSON[[]StepResult](t, resp)
 	if len(results) != fleet {
 		t.Fatalf("got %d results, want %d", len(results), fleet)
 	}
@@ -128,13 +128,13 @@ func TestStreamStepIncludeFrames(t *testing.T) {
 	spec := blockPaperSpec(31337)
 	info := createStream(t, ts.URL, spec)
 
-	resp := postJSON(t, ts.URL+"/v1/streams/step", stepRequest{IDs: []string{info.ID}, N: 256, IncludeFrames: true})
+	resp := postJSON(t, ts.URL+"/v1/streams/step", StepRequest{IDs: []string{info.ID}, N: 256, IncludeFrames: true})
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		t.Fatalf("step: %d %s", resp.StatusCode, body)
 	}
-	results := decodeJSON[[]stepResult](t, resp)
+	results := decodeJSON[[]StepResult](t, resp)
 	want, err := spec.Frames(context.Background(), 0, 256, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -158,14 +158,14 @@ func TestStreamStepValidation(t *testing.T) {
 
 	cases := []struct {
 		name string
-		req  stepRequest
+		req  StepRequest
 		code int
 	}{
-		{"unknown id", stepRequest{IDs: []string{info.ID, "s999"}, N: 10}, http.StatusNotFound},
-		{"zero n", stepRequest{IDs: []string{info.ID}, N: 0}, http.StatusBadRequest},
-		{"empty ids", stepRequest{N: 10}, http.StatusBadRequest},
-		{"frames over bound", stepRequest{IDs: []string{info.ID}, N: maxStepReturnFrames + 1, IncludeFrames: true}, http.StatusBadRequest},
-		{"step over bound", stepRequest{IDs: []string{info.ID}, N: maxStepFrames + 1}, http.StatusBadRequest},
+		{"unknown id", StepRequest{IDs: []string{info.ID, "s999"}, N: 10}, http.StatusNotFound},
+		{"zero n", StepRequest{IDs: []string{info.ID}, N: 0}, http.StatusBadRequest},
+		{"empty ids", StepRequest{N: 10}, http.StatusBadRequest},
+		{"frames over bound", StepRequest{IDs: []string{info.ID}, N: maxStepReturnFrames + 1, IncludeFrames: true}, http.StatusBadRequest},
+		{"step over bound", StepRequest{IDs: []string{info.ID}, N: maxStepFrames + 1}, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		resp := postJSON(t, ts.URL+"/v1/streams/step", tc.req)

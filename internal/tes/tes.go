@@ -77,6 +77,19 @@ func New(cfg Config, r *rng.Source) (*Generator, error) {
 	return &Generator{cfg: cfg, rng: r, u: r.Float64()}, nil
 }
 
+// Pos returns the number of samples drawn so far (the index of the next
+// sample Next will produce).
+func (g *Generator) Pos() int { return g.n }
+
+// Reseed rewinds the generator to sample 0 of the trace keyed by seed: the
+// rng is reseeded in place and a fresh stationary starting point is drawn.
+// Reseeding with the same seed replays the stream bit-identically.
+func (g *Generator) Reseed(seed uint64) {
+	g.rng.Reseed(seed)
+	g.u = g.rng.Float64()
+	g.n = 0
+}
+
 // stitch applies S_zeta.
 func stitch(y, zeta float64) float64 {
 	if zeta >= 1 {

@@ -1,0 +1,39 @@
+package trunk
+
+import (
+	"sync/atomic"
+
+	"vbrsim/internal/obs"
+)
+
+// Package-level instrumentation, following the streamblock idiom: the
+// source gauge is a plain atomic updated by every Open/Close regardless of
+// registration, and the fan-out histogram feeds whichever registry
+// registered most recently (one registry per process in the daemon).
+var (
+	sourcesActive atomic.Int64
+	fanoutNsHist  atomic.Pointer[obs.Histogram]
+)
+
+func observeSources(delta int) {
+	sourcesActive.Add(int64(delta))
+}
+
+func observeFanout(ns int64) {
+	if h := fanoutNsHist.Load(); h != nil {
+		h.Observe(float64(ns))
+	}
+}
+
+// RegisterMetrics exposes the engine's instruments on r:
+// vbrsim_trunk_sources_active (flattened component streams held by live
+// trunks) and vbrsim_trunk_fanout_ns (wall time of one Fill fan-out round:
+// component fills plus the weighted reduction).
+func RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("vbrsim_trunk_sources_active",
+		"Flattened component streams held by live trunks.",
+		func() float64 { return float64(sourcesActive.Load()) })
+	fanoutNsHist.Store(r.Histogram("vbrsim_trunk_fanout_ns",
+		"Wall time of one trunk fan-out round (component fills + reduction), nanoseconds.",
+		[]float64{10e3, 50e3, 100e3, 250e3, 500e3, 1e6, 2.5e6, 5e6, 10e6, 50e6}))
+}

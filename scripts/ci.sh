@@ -34,21 +34,30 @@ echo "== conformance -quick"
 # the replication loops out; the report is bit-identical at any setting
 # (the race gate above covers the same worker pools via -race -short).
 go run ./cmd/conformance -quick -workers 4 -out CONFORMANCE_1.json
+# The trunk family (superposition determinism, Hurst preservation, mux
+# gain) must be present in the suite, not just passing when it happens to
+# run — a silently dropped family would otherwise pass the gate above.
+for check in trunk-determinism trunk-hurst-preservation trunk-mux-gain; do
+    grep -q "\"$check\"" CONFORMANCE_1.json \
+        || { echo "conformance report missing $check" >&2; exit 1; }
+done
 
 echo "== benchdiff gate"
 # Regression gate over a small, stable benchmark subset: re-measure the
-# DH kernel and the streaming-ladder headline rungs and diff against the
-# committed BENCH_4.json. The 25% threshold is generous — it absorbs
+# DH kernel, the streaming-ladder headline rungs, and the serial trunk
+# fan-out rung (also the zero-steady-state-alloc gate) and diff against
+# the committed BENCH_5.json. The 25% threshold is generous — it absorbs
 # machine-to-machine and run-to-run noise while catching order-of-magnitude
 # regressions (a lost fast path, an accidental allocation in a refill).
 go run ./cmd/bench -benchtime 300ms \
-    -only 'DHPathRealInto|StreamTruncatedFill/n=16384|StreamBlockFill/n=16384|StreamBlockRefill' \
-    -compare BENCH_4.json -threshold 0.25
+    -only 'DHPathRealInto|StreamTruncatedFill/n=16384|StreamBlockFill/n=16384|StreamBlockRefill|TrunkFillSerial' \
+    -compare BENCH_5.json -threshold 0.25
 
 echo "== fuzz smoke"
 # Bounded runs of the native fuzz targets: spec decoding must never panic
 # and quantile compaction must stay idempotent.
 go test ./internal/modelspec -run '^$' -fuzz 'FuzzModelSpecDecode' -fuzztime=5s
+go test ./internal/modelspec -run '^$' -fuzz 'FuzzTrunkSpecDecode' -fuzztime=5s
 go test ./internal/modelspec -run '^$' -fuzz 'FuzzQuantileRoundTrip' -fuzztime=5s
 
 echo "== trafficd smoke test"
@@ -76,6 +85,17 @@ frames=$(curl -sSf "$base/v1/streams/$sid/frames?n=100" | wc -l)
 [ "$frames" -eq 100 ] || { echo "expected 100 frames, got $frames" >&2; exit 1; }
 curl -sSf "$base/metrics" | grep -q '^vbrsim_frames_streamed_total 100$'
 
+# Trunk-session smoke: a 4-source superposition served through the same
+# frames path, visible in the trunk gauges.
+tid=$(curl -sSf -X POST "$base/v1/trunks" \
+    -d '{"name":"trunk-smoke","seed":9,"components":[{"count":4,"spec":{"acf":{"weights":[1],"rates":[0.005869930388252342],"l":1.59468,"beta":0.2,"knee":60},"marginal":{"kind":"lognormal","mu":9.6,"sigma":0.4},"h":0.9}}]}' \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$tid" ] || { echo "trunk creation failed" >&2; exit 1; }
+tframes=$(curl -sSf "$base/v1/streams/$tid/frames?n=50" | wc -l)
+[ "$tframes" -eq 50 ] || { echo "expected 50 trunk frames, got $tframes" >&2; exit 1; }
+curl -sSf "$base/metrics" | grep -q '^vbrsim_trunk_sessions_active 1$'
+curl -sSf "$base/metrics" | grep -q '^vbrsim_trunk_sources_active 4$'
+
 # Metrics scrape gate: every metric name documented in DESIGN.md §9 must be
 # served with a TYPE header. Keep this list in sync with DESIGN.md and
 # internal/server/metrics_expfmt_test.go (documentedMetrics).
@@ -91,7 +111,8 @@ for name in \
     vbrsim_plan_cache_hits_total vbrsim_plan_cache_misses_total \
     vbrsim_plan_cache_evictions_total vbrsim_plan_cache_singleflight_waits_total \
     vbrsim_streamblock_refills_total vbrsim_streamblock_arena_bytes \
-    vbrsim_streamblock_block_ns
+    vbrsim_streamblock_block_ns \
+    vbrsim_trunk_sessions_active vbrsim_trunk_sources_active vbrsim_trunk_fanout_ns
 do
     grep -q "^# TYPE $name " "$tmpdir/metrics" \
         || { echo "documented metric $name missing from /metrics" >&2; exit 1; }

@@ -22,6 +22,8 @@
 package vbrsim
 
 import (
+	"context"
+
 	"vbrsim/internal/acf"
 	"vbrsim/internal/admission"
 	"vbrsim/internal/baseline"
@@ -33,6 +35,7 @@ import (
 	"vbrsim/internal/hosking"
 	"vbrsim/internal/hurst"
 	"vbrsim/internal/impsample"
+	"vbrsim/internal/modelspec"
 	"vbrsim/internal/mpegtrace"
 	"vbrsim/internal/norros"
 	"vbrsim/internal/queue"
@@ -41,6 +44,7 @@ import (
 	"vbrsim/internal/tes"
 	"vbrsim/internal/trace"
 	"vbrsim/internal/transform"
+	"vbrsim/internal/trunk"
 )
 
 // Modeling pipeline (paper Section 3).
@@ -237,6 +241,38 @@ const ATMCellPayload = queue.ATMCellPayload
 
 // Superposition multiplexes N independent copies of a source.
 type Superposition = queue.Superposition
+
+// Trunk superposition (internal/trunk): N heterogeneous sources summed
+// into one aggregate arrival process with derived per-source seeds.
+type (
+	// TrunkSpec is the serializable trunk: weighted component model specs
+	// plus an optional shared marginal. trafficd serves these as trunk
+	// sessions; OpenTrunk materializes them in process.
+	TrunkSpec = modelspec.TrunkSpec
+	// TrunkSpecComponent is one weighted component group in a TrunkSpec.
+	TrunkSpecComponent = modelspec.TrunkComponent
+	// Trunk is an open superposition stream (Fill/Seek/Reseed).
+	Trunk = trunk.Trunk
+	// TrunkOptions tunes trunk construction.
+	TrunkOptions = trunk.Options
+	// TrunkAggregate superposes weighted PathSource components in the exact
+	// draw order of Superposition, so ports from hand-rolled superposition
+	// are bit-identical. It drops into every queue estimator.
+	TrunkAggregate = trunk.Aggregate
+	// TrunkComponent is one weighted group in a TrunkAggregate.
+	TrunkComponent = trunk.Component
+)
+
+// OpenTrunk materializes a trunk spec into an aggregate stream.
+func OpenTrunk(ctx context.Context, spec *TrunkSpec, opt TrunkOptions) (*Trunk, error) {
+	return trunk.Open(ctx, spec, opt)
+}
+
+// TrunkSourceSeed derives the seed of flattened source ordinal s of a trunk
+// keyed by trunkSeed (the trafficd session-seed mix).
+func TrunkSourceSeed(trunkSeed uint64, ordinal int) uint64 {
+	return trunk.SourceSeed(trunkSeed, ordinal)
+}
 
 // SegmentIntoCells converts bytes-per-frame into cells-per-slot with
 // optional frame spreading.
