@@ -1,18 +1,18 @@
 // Package client is the Go client for trafficd (internal/server): stream
 // creation and frame retrieval, job submission and polling. Frames travel
-// in the binary float64 little-endian encoding, so values round-trip
-// bit-identically — a client-side comparison against offline generation
-// (modelspec.Frames with the same spec and seed) is an exact equality test.
+// in the length-prefixed binary record protocol (application/x-vbrsim-frames,
+// float64 little-endian payloads), so values round-trip bit-identically —
+// a client-side comparison against offline generation (modelspec.Frames
+// with the same spec and seed) is an exact equality test — and a response
+// cut off mid-stream is detected by the missing terminator record.
 package client
 
 import (
 	"bytes"
 	"context"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -137,7 +137,10 @@ func (c *Client) CloseStream(ctx context.Context, id string) error {
 	return c.doJSON(ctx, "DELETE", "/v1/streams/"+id, nil, nil)
 }
 
-// Frames reads n frames from the session over the binary encoding. from < 0
+// Frames reads n frames from the session over the length-prefixed binary
+// record protocol (application/x-vbrsim-frames), so values round-trip
+// bit-identically and a truncated body is detected by the missing
+// terminator record rather than inferred from a length mismatch. from < 0
 // continues from the session's current position; otherwise the session
 // seeks to the given frame index first (deterministic replay).
 func (c *Client) Frames(ctx context.Context, id string, from, n int) ([]float64, error) {
@@ -149,7 +152,7 @@ func (c *Client) Frames(ctx context.Context, id string, from, n int) ([]float64,
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Accept", "application/octet-stream")
+	req.Header.Set("Accept", server.ContentTypeFrames)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, err
@@ -158,17 +161,30 @@ func (c *Client) Frames(ctx context.Context, id string, from, n int) ([]float64,
 		return nil, apiError(resp)
 	}
 	defer resp.Body.Close()
-	out := make([]float64, 0, n)
-	var word [8]byte
-	rd := resp.Body
-	for len(out) < n {
-		if _, err := io.ReadFull(rd, word[:]); err != nil {
-			if err == io.EOF && len(out) > 0 {
-				return out, fmt.Errorf("stream truncated at %d of %d frames", len(out), n)
-			}
-			return out, err
+	fr := server.NewFrameReader(resp.Body)
+	out := make([]float64, n)
+	got := 0
+	for got < n {
+		k, err := fr.Read(out[got:])
+		got += k
+		if err == io.EOF {
+			break
 		}
-		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(word[:])))
+		if err != nil {
+			return out[:got], err
+		}
+	}
+	if got < n {
+		return out[:got], fmt.Errorf("stream truncated at %d of %d frames", got, n)
+	}
+	// The server terminates the body with the protocol trailer after the
+	// last requested frame; its absence means the response died in flight.
+	var scratch [1]float64
+	if _, err := fr.Read(scratch[:]); err != io.EOF {
+		if err == nil {
+			return out, fmt.Errorf("server sent more than %d requested frames", n)
+		}
+		return out, err
 	}
 	return out, nil
 }

@@ -17,17 +17,16 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"regexp"
 	"runtime"
-	"sort"
 	"testing"
 	"time"
 
+	"vbrsim/internal/benchreport"
 	"vbrsim/internal/benchsuite"
 )
 
@@ -36,62 +35,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-}
-
-// entry is one benchmark's measurement in the JSON report.
-type entry struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	N           int     `json:"n"`
-	// GOMAXPROCS is recorded per benchmark: parallel entries (NewPlanParallel,
-	// StreamStepMany) are meaningless without the core count they ran at, and
-	// a report assembled across machines would otherwise lose the provenance.
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Extra      map[string]float64 `json:"extra,omitempty"`
-}
-
-// report is the BENCH_5.json schema: environment header plus one entry per
-// benchmark, keyed by name.
-type report struct {
-	GoVersion  string           `json:"go_version"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	Date       string           `json:"date"`
-	Benchmarks map[string]entry `json:"benchmarks"`
-}
-
-// delta is one benchmark's old-vs-new comparison.
-type delta struct {
-	Name     string
-	Old, New float64 // ns/op
-	// Frac is (new-old)/old; positive means slower.
-	Frac float64
-	// Missing marks a benchmark present in only one report (never a
-	// regression by itself).
-	Missing bool
-}
-
-// compareReports diffs new against old per benchmark and reports whether
-// any shared benchmark regressed beyond threshold (fractional ns/op
-// increase). Improvements and new/vanished benchmarks never fail.
-func compareReports(old, fresh report, threshold float64) (deltas []delta, failed bool) {
-	for name, n := range fresh.Benchmarks {
-		o, ok := old.Benchmarks[name]
-		if !ok {
-			deltas = append(deltas, delta{Name: name, New: n.NsPerOp, Missing: true})
-			continue
-		}
-		d := delta{Name: name, Old: o.NsPerOp, New: n.NsPerOp}
-		if o.NsPerOp > 0 {
-			d.Frac = (n.NsPerOp - o.NsPerOp) / o.NsPerOp
-		}
-		if d.Frac > threshold {
-			failed = true
-		}
-		deltas = append(deltas, d)
-	}
-	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
-	return deltas, failed
 }
 
 // filterSuite selects the benchmarks whose names match re (nil keeps all).
@@ -106,18 +49,6 @@ func filterSuite(benches []benchsuite.Bench, re *regexp.Regexp) []benchsuite.Ben
 		}
 	}
 	return out
-}
-
-func readReport(path string) (report, error) {
-	var rep report
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return rep, err
-	}
-	if err := json.Unmarshal(data, &rep); err != nil {
-		return rep, fmt.Errorf("%s: %w", path, err)
-	}
-	return rep, nil
 }
 
 // run executes the tool; split from main for testability.
@@ -141,10 +72,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("-only: %w", err)
 		}
 	}
-	var old report
+	var old benchreport.Report
 	if *compare != "" {
 		var err error
-		if old, err = readReport(*compare); err != nil {
+		if old, err = benchreport.ReadFile(*compare); err != nil {
 			return err
 		}
 	}
@@ -156,11 +87,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	rep := report{
+	rep := benchreport.Report{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Date:       time.Now().UTC().Format(time.RFC3339),
-		Benchmarks: make(map[string]entry),
+		Benchmarks: make(map[string]benchreport.Entry),
 	}
 	benches := filterSuite(benchsuite.Suite(), re)
 	if len(benches) == 0 {
@@ -169,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	for _, bm := range benches {
 		fmt.Fprintf(stdout, "%-28s ", bm.Name)
 		res := testing.Benchmark(bm.F)
-		e := entry{
+		e := benchreport.Entry{
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
@@ -187,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *compare != "" {
-		deltas, failed := compareReports(old, rep, *threshold)
+		deltas, failed := benchreport.Compare(old, rep, *threshold)
 		for _, d := range deltas {
 			if d.Missing {
 				fmt.Fprintf(stdout, "%-28s %12.0f ns/op   (not in %s)\n", d.Name, d.New, *compare)
@@ -207,17 +138,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		*out = "BENCH_5.json"
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := rep.WriteFile(*out); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote %s\n", *out)

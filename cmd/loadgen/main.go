@@ -1,31 +1,53 @@
-// Command loadgen exercises a running trafficd with concurrent streams: it
-// opens -streams sessions of the paper model, optionally advances the whole
-// fleet through the batched POST /v1/streams/step endpoint, pulls -frames
-// frames from each in parallel, verifies every stream against offline
-// generation with the same seed (the determinism contract), and reports
-// throughput. With -trunk it additionally smoke-tests a trunk session: a
-// superposition of that many paper sources created, stepped, read, and
-// verified bit-identical against the offline trunk engine.
+// Command loadgen exercises trafficd with concurrent streams, in two modes.
+//
+// Remote mode (-addr) drives a running daemon over HTTP: it opens -streams
+// sessions of the paper model, optionally advances the whole fleet through
+// the batched POST /v1/streams/step endpoint, pulls -frames frames from each
+// in parallel, verifies every stream against offline generation with the
+// same seed (the determinism contract), and reports throughput. With -trunk
+// it additionally smoke-tests a trunk session: a superposition of that many
+// paper sources created, stepped, read, and verified bit-identical against
+// the offline trunk engine.
+//
+// Capacity mode (-selfserve) is the serving-capacity harness: it embeds the
+// server in-process (no TCP, requests dispatched straight into ServeHTTP),
+// ramps a fleet of cheap TES sessions up to -sessions over -ramp, then
+// hammers frame reads from -workers goroutines for -duration, recording
+// per-request latency. Results (mean ns/request, p50/p99 latency,
+// frames/sec/core) are written as benchreport entries, so BENCH_6.json is
+// diffed by the same benchdiff gate as the cmd/bench ablation suite.
 //
 // Usage:
 //
 //	loadgen -addr http://127.0.0.1:8080 -streams 32 -frames 2000
 //	loadgen -addr ... -streams 64 -step 4096        # batched-stepping driver
 //	loadgen -addr ... -trunk 16                     # trunk-session smoke
+//	loadgen -selfserve -profile full -o BENCH_6.json
+//	loadgen -selfserve -profile smoke -compare BENCH_6.json -threshold 0.75
+//	loadgen -selfserve -sessions 10000 -shards 4 -duration 5s
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"vbrsim/client"
+	"vbrsim/internal/benchreport"
 	"vbrsim/internal/modelspec"
+	"vbrsim/internal/obs"
 	"vbrsim/internal/server"
 	"vbrsim/internal/trunk"
 )
@@ -42,19 +64,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr    = fs.String("addr", "", "trafficd base URL (required), e.g. http://127.0.0.1:8080")
-		streams = fs.Int("streams", 32, "concurrent streaming sessions to open")
-		frames  = fs.Int("frames", 2000, "frames to pull per stream")
-		step    = fs.Int("step", 0, "advance the whole fleet by this many frames via POST /v1/streams/step before reading")
+		addr    = fs.String("addr", "", "trafficd base URL (remote mode), e.g. http://127.0.0.1:8080")
+		streams = fs.Int("streams", 32, "remote mode: concurrent streaming sessions to open")
+		frames  = fs.Int("frames", 2000, "remote mode: frames to pull per stream")
+		step    = fs.Int("step", 0, "remote mode: advance the whole fleet by this many frames via POST /v1/streams/step before reading")
 		seed    = fs.Uint64("seed", 1000, "seed of the first stream (stream i uses seed+i)")
-		sources = fs.Int("trunk", 0, "also smoke-test one trunk session of this many paper sources")
-		verify  = fs.Bool("verify", true, "check every stream against offline generation with the same seed")
+		sources = fs.Int("trunk", 0, "remote mode: also smoke-test one trunk session of this many paper sources")
+		verify  = fs.Bool("verify", true, "remote mode: check every stream against offline generation with the same seed")
+
+		selfserve = fs.Bool("selfserve", false, "capacity mode: embed the server in-process and measure serving capacity")
+		sessions  = fs.Int("sessions", 10000, "capacity mode: concurrent sessions to ramp to")
+		shards    = fs.Int("shards", 16, "capacity mode: session-registry shard count")
+		ramp      = fs.Duration("ramp", 0, "capacity mode: time over which the fleet ramps to -sessions (0 = as fast as possible)")
+		duration  = fs.Duration("duration", 5*time.Second, "capacity mode: steady-state measurement window at full fleet")
+		workers   = fs.Int("workers", 64, "capacity mode: concurrent request goroutines")
+		read      = fs.Int("read", 4, "capacity mode: frames per request")
+		procs     = fs.Int("procs", 8, "capacity mode: GOMAXPROCS for the serving stack (per-core numbers divide by this)")
+		profile   = fs.String("profile", "", "capacity mode: canned run set, \"full\" (BENCH_6 refresh) or \"smoke\" (CI gate subset)")
+		out       = fs.String("o", "", "capacity mode: write results as a benchreport JSON file")
+		compare   = fs.String("compare", "", "capacity mode: old report to diff against; regressions beyond -threshold fail")
+		threshold = fs.Float64("threshold", 0.75, "fractional ns/op regression tolerated under -compare")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *selfserve {
+		return runCapacity(ctx, capacityFlags{
+			sessions: *sessions, shards: *shards, workers: *workers, read: *read,
+			ramp: *ramp, duration: *duration, seed: *seed, procs: *procs,
+			profile: *profile, out: *out, compare: *compare, threshold: *threshold,
+		}, stdout)
+	}
 	if *addr == "" {
-		return fmt.Errorf("missing -addr base URL")
+		return fmt.Errorf("missing -addr base URL (or -selfserve for capacity mode)")
 	}
 	c := client.New(*addr)
 	if err := c.Healthz(ctx); err != nil {
@@ -240,4 +282,341 @@ func runTrunkSmoke(ctx context.Context, c *client.Client, n int, seed uint64, fr
 		}
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Capacity mode
+
+type capacityFlags struct {
+	sessions, shards, workers, read, procs int
+	ramp, duration                         time.Duration
+	seed                                   uint64
+	profile, out, compare                  string
+	threshold                              float64
+}
+
+// capacityRun is one measured configuration; name keys the benchreport
+// entry so the benchdiff gate can match it across reports.
+type capacityRun struct {
+	name     string
+	sessions int
+	shards   int
+	ramp     time.Duration
+}
+
+// runCapacity executes the requested runs and writes/diffs the report.
+func runCapacity(ctx context.Context, f capacityFlags, stdout io.Writer) error {
+	var runs []capacityRun
+	switch f.profile {
+	case "":
+		runs = []capacityRun{{
+			name:     fmt.Sprintf("ServeFrames/sessions%d-shards%d", f.sessions, f.shards),
+			sessions: f.sessions, shards: f.shards, ramp: f.ramp,
+		}}
+	case "smoke":
+		// The CI subset: small enough to finish in seconds, present in the
+		// committed full report so -compare has something to diff.
+		runs = []capacityRun{
+			{name: "ServeFrames/sessions1k-shards16", sessions: 1000, shards: 16},
+		}
+	case "full":
+		// The committed BENCH_6.json set: the shard ablation at 10k
+		// sessions (1 shard = the pre-shard single-map registry) and the
+		// 100k-session ramp that is the capacity headline.
+		runs = []capacityRun{
+			{name: "ServeFrames/sessions1k-shards16", sessions: 1000, shards: 16},
+			{name: "ServeFrames/sessions10k-shards1", sessions: 10000, shards: 1},
+			{name: "ServeFrames/sessions10k-shards16", sessions: 10000, shards: 16},
+			{name: "ServeFrames/ramp100k-shards16", sessions: 100000, shards: 16, ramp: f.ramp},
+		}
+	default:
+		return fmt.Errorf("unknown -profile %q (want \"full\" or \"smoke\")", f.profile)
+	}
+
+	if f.procs > 0 {
+		old := runtime.GOMAXPROCS(f.procs)
+		defer runtime.GOMAXPROCS(old)
+	}
+	var old benchreport.Report
+	if f.compare != "" {
+		var err error
+		if old, err = benchreport.ReadFile(f.compare); err != nil {
+			return err
+		}
+	}
+
+	rep := benchreport.Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: make(map[string]benchreport.Entry),
+	}
+	results := make(map[string]capacityResult, len(runs))
+	for _, cr := range runs {
+		res, err := measureCapacity(ctx, capacityConfig{
+			sessions: cr.sessions, shards: cr.shards, workers: f.workers,
+			read: f.read, ramp: cr.ramp, duration: f.duration, seed: f.seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", cr.name, err)
+		}
+		results[cr.name] = res
+		rep.Benchmarks[cr.name] = res.entry()
+		fmt.Fprintf(stdout, "%-34s %9.0f ns/req  p50 %8v  p99 %8v  %9.0f frames/s  %8.0f frames/s/core  (ramp %v)\n",
+			cr.name, res.meanNs, res.p50.Round(time.Microsecond), res.p99.Round(time.Microsecond),
+			res.framesPerSec, res.framesPerSecPerCore(), res.rampElapsed.Round(time.Millisecond))
+	}
+
+	// The shard ablation headline: 16 shards vs the single-map baseline at
+	// the same fleet size, in frames/sec/core.
+	if one, ok := results["ServeFrames/sessions10k-shards1"]; ok {
+		if sixteen, ok := results["ServeFrames/sessions10k-shards16"]; ok && one.framesPerSec > 0 {
+			speedup := sixteen.framesPerSecPerCore() / one.framesPerSecPerCore()
+			e := rep.Benchmarks["ServeFrames/sessions10k-shards16"]
+			e.Extra["shard_speedup"] = speedup
+			rep.Benchmarks["ServeFrames/sessions10k-shards16"] = e
+			fmt.Fprintf(stdout, "shard speedup at 10k sessions: %.2fx (16 shards vs single map)\n", speedup)
+		}
+	}
+
+	if f.compare != "" {
+		deltas, failed := benchreport.Compare(old, rep, f.threshold)
+		for _, d := range deltas {
+			if d.Missing {
+				fmt.Fprintf(stdout, "%-34s %12.0f ns/req   (not in %s)\n", d.Name, d.New, f.compare)
+				continue
+			}
+			fmt.Fprintf(stdout, "%-34s %12.0f -> %10.0f ns/req  %+6.1f%%\n", d.Name, d.Old, d.New, 100*d.Frac)
+		}
+		if failed {
+			return fmt.Errorf("capacity regression beyond %.0f%% vs %s", 100*f.threshold, f.compare)
+		}
+		fmt.Fprintf(stdout, "no capacity regression beyond %.0f%% vs %s\n", 100*f.threshold, f.compare)
+	}
+	if f.out != "" {
+		if err := rep.WriteFile(f.out); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", f.out)
+	}
+	return nil
+}
+
+type capacityConfig struct {
+	sessions, shards, workers, read int
+	ramp, duration                  time.Duration
+	seed                            uint64
+}
+
+type capacityResult struct {
+	sessions, shards, workers, read int
+	gomaxprocs                      int
+	rampElapsed                     time.Duration
+	requests                        int
+	meanNs                          float64
+	p50, p99                        time.Duration
+	framesPerSec                    float64
+}
+
+func (r capacityResult) framesPerSecPerCore() float64 {
+	return r.framesPerSec / float64(r.gomaxprocs)
+}
+
+func (r capacityResult) entry() benchreport.Entry {
+	return benchreport.Entry{
+		NsPerOp:    r.meanNs,
+		N:          r.requests,
+		GOMAXPROCS: r.gomaxprocs,
+		Extra: map[string]float64{
+			"sessions":            float64(r.sessions),
+			"shards":              float64(r.shards),
+			"workers":             float64(r.workers),
+			"frames_per_request":  float64(r.read),
+			"ramp_seconds":        r.rampElapsed.Seconds(),
+			"p50_us":              float64(r.p50) / 1e3,
+			"p99_us":              float64(r.p99) / 1e3,
+			"frames_per_sec":      r.framesPerSec,
+			"frames_per_sec_core": r.framesPerSecPerCore(),
+		},
+	}
+}
+
+// tesSpec is the cheapest session the server admits (cost 1 unit, no
+// Gaussian plan): a TES modulo-1 process mapped through a lognormal
+// marginal. The fleet is heterogeneous only in seed.
+func tesSpec(seed uint64) modelspec.Spec {
+	return modelspec.Spec{
+		Engine:   modelspec.EngineTES,
+		Seed:     seed,
+		TES:      &modelspec.TESSpec{Alpha: 0.3},
+		Marginal: &modelspec.MarginalSpec{Kind: "lognormal", Mu: 9.6, Sigma: 0.4},
+	}
+}
+
+// discardWriter is a ResponseWriter that keeps only the status code: the
+// harness measures the serving stack, not response-buffer copies.
+type discardWriter struct {
+	h    http.Header
+	code int
+}
+
+func (w *discardWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 4)
+	}
+	return w.h
+}
+func (w *discardWriter) WriteHeader(code int) { w.code = code }
+func (w *discardWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return len(p), nil
+}
+func (w *discardWriter) reset() {
+	w.code = 0
+	clear(w.h)
+}
+
+// measureCapacity ramps one fleet on a fresh in-process server and
+// measures steady-state frame-read capacity.
+func measureCapacity(ctx context.Context, cfg capacityConfig) (capacityResult, error) {
+	res := capacityResult{
+		sessions: cfg.sessions, shards: cfg.shards, workers: cfg.workers,
+		read: cfg.read, gomaxprocs: runtime.GOMAXPROCS(0),
+	}
+	srv := server.New(server.Options{
+		MaxSessions: cfg.sessions + 1,
+		Shards:      cfg.shards,
+		Seed:        cfg.seed,
+		Registry:    obs.NewRegistry(),
+	})
+	defer srv.Close()
+
+	// Ramp: -workers creators share the fleet; with a ramp window each
+	// creation waits for its proportional slot so the fleet grows linearly
+	// to full size over the window.
+	ids := make([]string, cfg.sessions)
+	errs := make([]error, cfg.workers)
+	rampStart := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < cfg.sessions; i += cfg.workers {
+				if cfg.ramp > 0 {
+					due := rampStart.Add(cfg.ramp * time.Duration(i) / time.Duration(cfg.sessions))
+					if d := time.Until(due); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				id, err := createSession(srv, cfg.seed+uint64(i))
+				if err != nil {
+					errs[w] = fmt.Errorf("create session %d: %w", i, err)
+					return
+				}
+				ids[i] = id
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.rampElapsed = time.Since(rampStart)
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+
+	// Steady state: every worker loops frame reads over its slice of the
+	// fleet until the window closes, recording per-request wall time.
+	type workerStats struct {
+		lat []int64
+		err error
+	}
+	stats := make([]workerStats, cfg.workers)
+	rawQuery := fmt.Sprintf("n=%d", cfg.read)
+	deadline := time.Now().Add(cfg.duration)
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			st.lat = make([]int64, 0, 1<<16)
+			rec := &discardWriter{}
+			header := http.Header{"Accept": []string{server.ContentTypeFrames}}
+			for i := w; ; i += cfg.workers {
+				if i >= cfg.sessions {
+					i %= cfg.sessions
+				}
+				req := &http.Request{
+					Method:     "GET",
+					URL:        &url.URL{Path: "/v1/streams/" + ids[i] + "/frames", RawQuery: rawQuery},
+					Proto:      "HTTP/1.1",
+					ProtoMajor: 1,
+					ProtoMinor: 1,
+					Header:     header,
+					Host:       "loadgen",
+					RemoteAddr: "127.0.0.1:1",
+				}
+				rec.reset()
+				t0 := time.Now()
+				srv.ServeHTTP(rec, req.WithContext(ctx))
+				t1 := time.Now()
+				if rec.code != http.StatusOK {
+					st.err = fmt.Errorf("frames %s: HTTP %d", ids[i], rec.code)
+					return
+				}
+				st.lat = append(st.lat, t1.Sub(t0).Nanoseconds())
+				if t1.After(deadline) {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var all []int64
+	var sum int64
+	for w := range stats {
+		if stats[w].err != nil {
+			return res, stats[w].err
+		}
+		all = append(all, stats[w].lat...)
+		for _, v := range stats[w].lat {
+			sum += v
+		}
+	}
+	if len(all) == 0 {
+		return res, fmt.Errorf("measurement window produced no requests")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.requests = len(all)
+	res.meanNs = float64(sum) / float64(len(all))
+	res.p50 = time.Duration(all[len(all)/2])
+	res.p99 = time.Duration(all[len(all)*99/100])
+	res.framesPerSec = float64(len(all)*cfg.read) / cfg.duration.Seconds()
+	return res, nil
+}
+
+// createSession opens one TES session through the full HTTP surface and
+// returns its id.
+func createSession(srv *server.Server, seed uint64) (string, error) {
+	spec := tesSpec(seed)
+	body, err := json.Marshal(&spec)
+	if err != nil {
+		return "", err
+	}
+	req := httptest.NewRequest("POST", "/v1/streams", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		return "", fmt.Errorf("HTTP %d: %s", rec.Code, bytes.TrimSpace(rec.Body.Bytes()))
+	}
+	var info server.SessionInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		return "", err
+	}
+	return info.ID, nil
 }

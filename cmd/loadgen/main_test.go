@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"vbrsim/internal/server"
 )
@@ -66,6 +67,42 @@ func TestLoadgenStepAndTrunk(t *testing.T) {
 func TestLoadgenMissingAddr(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if err := run(context.Background(), nil, &out, &errOut); err == nil {
-		t.Fatal("run without -addr succeeded")
+		t.Fatal("run without -addr or -selfserve succeeded")
+	}
+}
+
+// TestMeasureCapacitySmall runs the capacity harness at toy scale: the
+// measurement must produce requests, coherent percentiles, and a
+// benchreport entry carrying the capacity extras the benchdiff gate and
+// BENCH_6.json readers rely on.
+func TestMeasureCapacitySmall(t *testing.T) {
+	res, err := measureCapacity(context.Background(), capacityConfig{
+		sessions: 8, shards: 2, workers: 4, read: 2,
+		duration: 100 * time.Millisecond,
+		seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.requests <= 0 || res.framesPerSec <= 0 {
+		t.Fatalf("empty measurement: %+v", res)
+	}
+	if res.p99 < res.p50 || res.p50 <= 0 {
+		t.Fatalf("percentiles inverted: p50=%v p99=%v", res.p50, res.p99)
+	}
+	e := res.entry()
+	if e.NsPerOp <= 0 || e.Extra["sessions"] != 8 || e.Extra["shards"] != 2 {
+		t.Fatalf("malformed entry: %+v", e)
+	}
+	if e.Extra["frames_per_sec_core"] <= 0 || e.Extra["p99_us"] <= 0 {
+		t.Fatalf("entry missing capacity extras: %+v", e)
+	}
+}
+
+func TestRunCapacityRejectsUnknownProfile(t *testing.T) {
+	var out bytes.Buffer
+	err := runCapacity(context.Background(), capacityFlags{profile: "nope"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "profile") {
+		t.Fatalf("unknown profile error = %v", err)
 	}
 }

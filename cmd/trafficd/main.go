@@ -49,6 +49,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	var (
 		addr         = fs.String("addr", ":8080", "listen address (host:0 picks an ephemeral port)")
 		maxSessions  = fs.Int("max-sessions", 64, "max concurrently open streaming sessions (excess gets 429)")
+		shards       = fs.Int("shards", 16, "session-registry shard count (rounded up to a power of two)")
+		maxCost      = fs.Float64("max-cost", 0, "admission-control cost budget in session units (0 = 16 per session slot)")
+		idleTimeout  = fs.Duration("idle-timeout", 0, "evict sessions untouched for this long (0 = never)")
 		jobWorkers   = fs.Int("job-workers", 0, "job worker-pool size (0 = min(GOMAXPROCS, 4))")
 		jobQueue     = fs.Int("job-queue", 64, "max queued-but-unstarted jobs (excess gets 429)")
 		seed         = fs.Uint64("seed", 1, "base seed for server-assigned session seeds")
@@ -65,6 +68,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	// same /metrics page.
 	srv := server.New(server.Options{
 		MaxSessions:   *maxSessions,
+		Shards:        *shards,
+		MaxCost:       *maxCost,
+		IdleTimeout:   *idleTimeout,
 		JobWorkers:    *jobWorkers,
 		JobQueueDepth: *jobQueue,
 		Seed:          *seed,

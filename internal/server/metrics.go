@@ -24,6 +24,10 @@ type metrics struct {
 	framesStreamed  *obs.Counter
 	streamFrames    *obs.Histogram
 
+	shardSessions    *obs.GaugeVec   // shard
+	admissionRejects *obs.CounterVec // reason=cap|budget|pressure|drain
+	evictions        *obs.Counter
+
 	jobDuration  *obs.SummaryVec // kind, status=ok|failed
 	jobsFailed   *obs.CounterVec // kind
 	jobsRejected *obs.CounterVec // kind
@@ -60,6 +64,13 @@ func newMetrics(reg *obs.Registry) *metrics {
 		streamFrames: reg.Histogram("vbrsim_stream_request_frames",
 			"Frames requested per stream read.",
 			[]float64{64, 256, 1024, 4096, 16384, 65536, 262144}),
+		shardSessions: reg.GaugeVec("vbrsim_server_shard_sessions",
+			"Sessions currently registered per registry shard.", "shard"),
+		admissionRejects: reg.CounterVec("vbrsim_server_admission_rejects_total",
+			"Session creations shed by admission control, by reason (cap|budget|pressure|drain).",
+			"reason"),
+		evictions: reg.Counter("vbrsim_server_evictions_total",
+			"Sessions closed by the idle evictor."),
 		jobDuration: reg.SummaryVec("vbrsim_job_duration_seconds",
 			"Wall time of finished jobs by kind and status (ok|failed).",
 			"kind", "status"),

@@ -41,6 +41,10 @@ var documentedMetrics = map[string]string{
 	"vbrsim_trunk_sessions_active":               "gauge",
 	"vbrsim_trunk_sources_active":                "gauge",
 	"vbrsim_trunk_fanout_ns":                     "histogram",
+	"vbrsim_server_shard_sessions":               "gauge",
+	"vbrsim_server_admission_rejects_total":      "counter",
+	"vbrsim_server_evictions_total":              "counter",
+	"vbrsim_server_admission_cost_used":          "gauge",
 }
 
 // TestMetricsExpositionComplete scrapes a fresh server's /metrics through
@@ -56,6 +60,8 @@ func TestMetricsExpositionComplete(t *testing.T) {
 	s.metrics.jobDone("qsim-is", 1.5, true)
 	s.metrics.jobsRejected.With("qsim-mc").Inc()
 	s.metrics.streamFrames.Observe(100)
+	s.metrics.admissionRejects.With(rejectPressure).Inc()
+	s.metrics.evictions.Inc()
 	s.metrics.observeEstimator(obs.Convergence{
 		Completed: 10, Total: 100, P: 1e-5, StdErr: 1e-6,
 		NormVar: 12, VarianceRatio: 8000, RepsPerSec: 500,
@@ -91,6 +97,7 @@ func TestMetricsExpositionComplete(t *testing.T) {
 		`vbrsim_job_duration_seconds_sum{kind="qsim-is",status="failed"}`: false,
 		`vbrsim_job_duration_seconds_sum{kind="fit",status="ok"}`:         false,
 		`vbrsim_jobs_rejected_total{kind="qsim-mc"}`:                      false,
+		`vbrsim_server_admission_rejects_total{reason="pressure"}`:        false,
 	}
 	for _, f := range fams {
 		for _, smp := range f.Samples {

@@ -33,8 +33,8 @@ import (
 	"errors"
 	"net/http"
 	"runtime"
-	"sync"
 	"sync/atomic"
+	"time"
 
 	"vbrsim/internal/obs"
 	"vbrsim/internal/par"
@@ -45,6 +45,23 @@ type Options struct {
 	// MaxSessions caps concurrently open streaming sessions; creations
 	// beyond it get 429. Default 64.
 	MaxSessions int
+	// Shards is the session-registry shard count, rounded up to a power of
+	// two. Each shard has its own lock and map, so concurrent requests for
+	// different sessions contend only 1/Shards of the time. Default 16.
+	Shards int
+	// MaxCost is the admission-control budget in session cost units (see
+	// estimateStreamCost). 0 derives a budget from MaxSessions generous
+	// enough that cost never binds before the session cap for typical
+	// single-source fleets; set it explicitly to make cost-aware shedding
+	// the primary limit (trunk-heavy workloads).
+	MaxCost float64
+	// IdleTimeout evicts sessions untouched for this long (LRU-style: a
+	// frames/step/seek/info request refreshes the clock). 0 disables
+	// eviction.
+	IdleTimeout time.Duration
+	// EvictInterval is the evictor sweep period; 0 derives IdleTimeout/4
+	// (minimum 1s). Only meaningful with IdleTimeout > 0.
+	EvictInterval time.Duration
 	// JobWorkers is the job worker-pool size. Default GOMAXPROCS, capped
 	// at 4 so jobs (which parallelize internally) cannot starve streams.
 	JobWorkers int
@@ -65,9 +82,25 @@ type Options struct {
 	Registry *obs.Registry
 }
 
+// defaultCostPerSession sizes the derived admission budget: roughly one
+// paper-model truncated stream per session slot, with headroom.
+const defaultCostPerSession = 16
+
 func (o *Options) fill() {
 	if o.MaxSessions <= 0 {
 		o.MaxSessions = 64
+	}
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.MaxCost <= 0 {
+		o.MaxCost = defaultCostPerSession * float64(o.MaxSessions)
+	}
+	if o.IdleTimeout > 0 && o.EvictInterval <= 0 {
+		o.EvictInterval = o.IdleTimeout / 4
+		if o.EvictInterval < time.Second {
+			o.EvictInterval = time.Second
+		}
 	}
 	if o.JobWorkers <= 0 {
 		o.JobWorkers = runtime.GOMAXPROCS(0)
@@ -102,10 +135,10 @@ type Server struct {
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 
-	mu          sync.Mutex
-	sessions    map[string]*session
-	nextSession uint64
-	draining    bool
+	reg         *sessionRegistry
+	adm         *admission
+	nextSession atomic.Uint64
+	evictorDone chan struct{} // nil when eviction is disabled
 
 	seedOrdinal atomic.Uint64
 	jobs        *jobPool
@@ -119,13 +152,28 @@ func New(opt Options) *Server {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{
-		opt:      opt,
-		mux:      http.NewServeMux(),
-		metrics:  newMetrics(reg),
-		sessions: make(map[string]*session),
+		opt:     opt,
+		mux:     http.NewServeMux(),
+		metrics: newMetrics(reg),
+		adm:     newAdmission(opt.MaxCost, opt.MaxSessions),
 	}
+	s.reg = newSessionRegistry(opt.Shards, func(shard, active int) {
+		s.metrics.shardSessions.With(shardLabel(shard)).Set(float64(active))
+	})
+	// Pre-touch every shard's gauge so the exposition shows the full
+	// topology (all-zero shards included) from the first scrape.
+	for i := 0; i < s.reg.numShards(); i++ {
+		s.metrics.shardSessions.With(shardLabel(i)).Set(0)
+	}
+	reg.GaugeFunc("vbrsim_server_admission_cost_used",
+		"Admission-control cost units currently reserved by open sessions.",
+		s.adm.usedCost)
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.jobs = newJobPool(s, opt.JobWorkers, opt.JobQueueDepth)
+	if opt.IdleTimeout > 0 {
+		s.evictorDone = make(chan struct{})
+		go s.runEvictor()
+	}
 
 	// Worker-pool runs (estimator fan-outs, DH batches) feed the par
 	// series. The observer is process-wide; with several Servers in one
@@ -155,10 +203,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
+	if s.adm.isDraining() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		w.Write([]byte("draining\n"))
 		return
@@ -171,19 +216,50 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // stop routing here. Call on SIGTERM, then shut the http.Server down
 // gracefully, then Close.
 func (s *Server) BeginDrain() {
-	s.mu.Lock()
-	s.draining = true
-	s.mu.Unlock()
+	s.adm.beginDrain()
 	s.jobs.drain()
 }
 
-// Close cancels running jobs and waits for the worker pool to exit.
-// Sessions hold no goroutines or external resources, so dropping the
-// Server after Close releases everything.
+// Close cancels running jobs, stops the evictor, and waits for the worker
+// pool to exit. Sessions hold no goroutines or external resources, so
+// dropping the Server after Close releases everything.
 func (s *Server) Close() {
 	s.BeginDrain()
 	s.cancelBase()
+	if s.evictorDone != nil {
+		<-s.evictorDone
+	}
 	s.jobs.wg.Wait()
+}
+
+// runEvictor sweeps the registry every EvictInterval, closing sessions
+// idle past IdleTimeout and returning their admission cost.
+func (s *Server) runEvictor() {
+	defer close(s.evictorDone)
+	t := time.NewTicker(s.opt.EvictInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.evictIdleOnce()
+		}
+	}
+}
+
+// evictIdleOnce runs one eviction sweep (the evictor tick; tests call it
+// directly for a deterministic sweep).
+func (s *Server) evictIdleOnce() int {
+	cutoff := time.Now().Add(-s.opt.IdleTimeout)
+	return s.reg.evictIdle(cutoff, func(ss *session) {
+		s.adm.release(ss.cost)
+		s.metrics.sessionsActive.Add(-1)
+		s.metrics.evictions.Inc()
+		if ss.kind == sessionKindTrunk {
+			s.metrics.trunkSessions.Add(-1)
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vbrsim/internal/modelspec"
@@ -37,14 +38,35 @@ type frameStream interface {
 type session struct {
 	id      string
 	name    string
-	kind    string // "" for plain streams, "trunk" for superpositions
-	sources int    // flattened source count (trunk sessions only)
+	kind    string  // "" for plain streams, "trunk" for superpositions
+	sources int     // flattened source count (trunk sessions only)
+	cost    float64 // admission cost units reserved for this session
 	seed    uint64
 	created time.Time
+
+	// lastTouch is the idle clock (unix nanos), refreshed by every
+	// registry lookup; the evictor compares it against the idle cutoff.
+	lastTouch atomic.Int64
 
 	mu     sync.Mutex
 	stream frameStream
 	served uint64 // frames written over all requests
+	closed bool   // stream closed (deleted or evicted); reject further use
+}
+
+// touch refreshes the idle clock.
+func (ss *session) touch() { ss.lastTouch.Store(time.Now().UnixNano()) }
+
+// closeLocked closes the stream exactly once. Callers hold ss.mu, so a
+// delete racing an eviction cannot double-close, and a request that
+// acquires the mutex afterwards sees closed and treats the session as
+// gone instead of using a released stream.
+func (ss *session) closeLocked() {
+	if ss.closed {
+		return
+	}
+	ss.closed = true
+	ss.stream.Close()
 }
 
 // SessionInfo is the public view of a session. Kind and Sources are set
@@ -63,8 +85,24 @@ type SessionInfo struct {
 }
 
 func (ss *session) info() SessionInfo {
+	info, _ := ss.infoOK()
+	return info
+}
+
+// infoOK snapshots the session state; ok is false when the session was
+// closed (deleted or evicted) after the caller looked it up, in which
+// case the snapshot must not be served — the stream contract forbids
+// touching a closed stream.
+func (ss *session) infoOK() (SessionInfo, bool) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	if ss.closed {
+		return SessionInfo{}, false
+	}
+	return ss.infoLocked(), true
+}
+
+func (ss *session) infoLocked() SessionInfo {
 	return SessionInfo{
 		ID:          ss.id,
 		Name:        ss.name,
@@ -82,52 +120,62 @@ func (ss *session) info() SessionInfo {
 // ---------------------------------------------------------------------------
 // Session registry (on Server)
 
-// addSession registers a new session, enforcing the concurrency cap.
-func (s *Server) addSession(ss *session) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
-		return errDraining
-	}
-	if len(s.sessions) >= s.opt.MaxSessions {
-		return errSessionCap
-	}
-	s.nextSession++
-	ss.id = fmt.Sprintf("s%d", s.nextSession)
-	s.sessions[ss.id] = ss
+// addSession assigns the next session ID and registers ss in its shard.
+// Admission (session cap, cost budget, drain) already happened in
+// reserve; registration cannot fail.
+func (s *Server) addSession(ss *session) {
+	ss.id = fmt.Sprintf("s%d", s.nextSession.Add(1))
+	ss.touch()
+	s.reg.add(ss)
 	s.metrics.sessionsActive.Add(1)
 	s.metrics.sessionsTotal.Inc()
 	if ss.kind == sessionKindTrunk {
 		s.metrics.trunkSessions.Add(1)
 	}
-	return nil
 }
 
 func (s *Server) getSession(id string) (*session, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ss, ok := s.sessions[id]
-	return ss, ok
+	return s.reg.get(id)
 }
 
 func (s *Server) removeSession(id string) bool {
-	s.mu.Lock()
-	ss, ok := s.sessions[id]
+	ss, ok := s.reg.remove(id)
 	if !ok {
-		s.mu.Unlock()
 		return false
 	}
-	delete(s.sessions, id)
+	// Release engine-side accounting (the block engine's arena-bytes
+	// gauge) and the admission reservation. closeLocked under ss.mu makes
+	// a delete racing an eviction sweep single-close; Stream.Close touches
+	// no buffers, so a read that held ss.mu first finishes safely and sees
+	// closed on its next request.
+	ss.mu.Lock()
+	ss.closeLocked()
+	ss.mu.Unlock()
+	s.adm.release(ss.cost)
 	s.metrics.sessionsActive.Add(-1)
 	if ss.kind == sessionKindTrunk {
 		s.metrics.trunkSessions.Add(-1)
 	}
-	s.mu.Unlock()
-	// Release engine-side accounting (the block engine's arena-bytes gauge).
-	// Stream.Close touches no buffers, so an in-flight read that still holds
-	// ss.mu finishes safely; the arena is simply no longer counted.
-	ss.stream.Close()
 	return true
+}
+
+// rejectCreate reports an admission rejection: 429 with a Retry-After
+// hint (or 503 while draining), the per-reason counter, and the legacy
+// streams-rejected counter.
+func (s *Server) rejectCreate(w http.ResponseWriter, err error) {
+	s.metrics.streamsRejected.Inc()
+	code := http.StatusTooManyRequests
+	if ae, ok := asAdmitError(err); ok {
+		s.metrics.admissionRejects.With(ae.reason).Inc()
+		if ae.reason == rejectDrain {
+			code = http.StatusServiceUnavailable
+		} else if ae.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+		}
+	} else if errors.Is(err, errDraining) {
+		code = http.StatusServiceUnavailable
+	}
+	httpError(w, code, err)
 }
 
 // deriveSeed assigns a deterministic seed to the n-th auto-seeded session:
@@ -160,10 +208,21 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	if spec.Seed == 0 {
 		spec.Seed = deriveSeed(s.opt.Seed, s.seedOrdinal.Add(1))
 	}
+	// Admission happens before the expensive plan acquisition: the cost is
+	// estimated from the spec alone, so a doomed request never builds a
+	// plan or touches an arena.
+	cost := estimateStreamCost(&spec)
+	if err := s.adm.reserve(cost); err != nil {
+		s.rejectCreate(w, err)
+		return
+	}
 	// Plan acquisition is the expensive step; it is cancellable by the
-	// client and shared across sessions through the plan cache.
+	// client and shared across sessions through the plan cache. Any
+	// failure from here on returns the reservation and closes the stream:
+	// a rejected or failed create never leaks engine accounting.
 	stream, err := spec.OpenCtx(r.Context(), s.opt.Tol)
 	if err != nil {
+		s.adm.release(cost)
 		if r.Context().Err() != nil {
 			return // client gone; nothing to report
 		}
@@ -174,17 +233,8 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "stream"
 	}
-	ss := &session{name: name, seed: spec.Seed, created: time.Now(), stream: stream}
-	if err := s.addSession(ss); err != nil {
-		s.metrics.streamsRejected.Inc()
-		stream.Close()
-		code := http.StatusTooManyRequests
-		if errors.Is(err, errDraining) {
-			code = http.StatusServiceUnavailable
-		}
-		httpError(w, code, err)
-		return
-	}
+	ss := &session{name: name, cost: cost, seed: spec.Seed, created: time.Now(), stream: stream}
+	s.addSession(ss)
 	writeJSON(w, http.StatusCreated, ss.info())
 }
 
@@ -214,8 +264,17 @@ func (s *Server) handleTrunkCreate(w http.ResponseWriter, r *http.Request) {
 	if spec.Seed == 0 {
 		spec.Seed = deriveSeed(s.opt.Seed, s.seedOrdinal.Add(1))
 	}
+	// Trunks are the expensive sessions admission exists for: the cost
+	// scales with the flattened source count, so under pressure a 4096-
+	// source superposition is shed while plain streams keep landing.
+	cost := estimateTrunkCost(&spec)
+	if err := s.adm.reserve(cost); err != nil {
+		s.rejectCreate(w, err)
+		return
+	}
 	tr, err := trunk.Open(r.Context(), &spec, trunk.Options{Tol: s.opt.Tol})
 	if err != nil {
+		s.adm.release(cost)
 		if r.Context().Err() != nil {
 			return // client gone; nothing to report
 		}
@@ -230,33 +289,22 @@ func (s *Server) handleTrunkCreate(w http.ResponseWriter, r *http.Request) {
 		name:    name,
 		kind:    sessionKindTrunk,
 		sources: tr.NumSources(),
+		cost:    cost,
 		seed:    spec.Seed,
 		created: time.Now(),
 		stream:  tr,
 	}
-	if err := s.addSession(ss); err != nil {
-		s.metrics.streamsRejected.Inc()
-		tr.Close()
-		code := http.StatusTooManyRequests
-		if errors.Is(err, errDraining) {
-			code = http.StatusServiceUnavailable
-		}
-		httpError(w, code, err)
-		return
-	}
+	s.addSession(ss)
 	writeJSON(w, http.StatusCreated, ss.info())
 }
 
 func (s *Server) handleStreamList(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	list := make([]*session, 0, len(s.sessions))
-	for _, ss := range s.sessions {
-		list = append(list, ss)
-	}
-	s.mu.Unlock()
-	infos := make([]SessionInfo, len(list))
-	for i, ss := range list {
-		infos[i] = ss.info()
+	list := s.reg.list()
+	infos := make([]SessionInfo, 0, len(list))
+	for _, ss := range list {
+		if info, ok := ss.infoOK(); ok {
+			infos = append(infos, info)
+		}
 	}
 	sortSessionInfos(infos)
 	writeJSON(w, http.StatusOK, infos)
@@ -268,7 +316,12 @@ func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, errNoSession)
 		return
 	}
-	writeJSON(w, http.StatusOK, ss.info())
+	info, ok := ss.infoOK()
+	if !ok {
+		httpError(w, http.StatusNotFound, errNoSession)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
@@ -311,13 +364,18 @@ func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	binaryOut := wantsBinary(r)
+	enc := frameEncodingOf(r)
 	ctx := r.Context()
 
 	// Hold the session for the whole response: concurrent readers of one
 	// session are serialized, so each sees a consistent frame range.
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	if ss.closed {
+		// Deleted or evicted between the registry lookup and the lock.
+		httpError(w, http.StatusNotFound, errNoSession)
+		return
+	}
 	if from >= 0 {
 		// Seeking forward generates every skipped frame, so a huge
 		// client-supplied from would pin a core while holding ss.mu: bound
@@ -334,18 +392,20 @@ func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) {
 	}
 	start := ss.stream.Pos()
 
-	if binaryOut {
-		w.Header().Set("Content-Type", "application/octet-stream")
-	} else {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-	}
+	w.Header().Set("Content-Type", enc.contentType())
 	w.Header().Set("X-Stream-Start", strconv.Itoa(start))
 	w.Header().Set("X-Stream-Seed", strconv.FormatUint(ss.seed, 10))
 	flusher, _ := w.(http.Flusher)
 	s.metrics.streamFrames.Observe(float64(n))
 
+	// The frame buffer and the encode buffer are both recycled: frames are
+	// generated into buf and written straight out through the pooled byte
+	// buffer, so steady-state streaming allocates nothing per chunk on any
+	// encoding.
 	buf := make([]float64, 0, streamChunk)
-	out := make([]byte, 0, streamChunk*10)
+	outp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(outp)
+	out := *outp
 	written := 0
 	for written < n {
 		if ctx.Err() != nil {
@@ -359,11 +419,14 @@ func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) {
 		ss.stream.Fill(buf)
 
 		out = out[:0]
-		if binaryOut {
+		switch enc {
+		case encRecords:
+			out = AppendFrameRecord(out, buf)
+		case encFloat64:
 			for _, v := range buf {
 				out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
 			}
-		} else {
+		default:
 			for _, v := range buf {
 				out = strconv.AppendFloat(out, v, 'g', -1, 64)
 				out = append(out, '\n')
@@ -379,19 +442,53 @@ func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) {
 		ss.served += uint64(c)
 		s.metrics.framesStreamed.Add(float64(c))
 	}
+	if enc == encRecords {
+		// Terminator record: the protocol-level "all frames delivered".
+		w.Write(AppendFrameTrailer(out[:0]))
+	}
+	*outp = out[:0]
 }
 
-// wantsBinary negotiates the frame encoding: binary float64 little-endian
-// when the client asks for application/octet-stream (Accept header or
-// format=binary), NDJSON otherwise.
-func wantsBinary(r *http.Request) bool {
-	switch r.URL.Query().Get("format") {
-	case "binary":
-		return true
-	case "ndjson":
-		return false
+// frameEncoding selects a frames response body format.
+type frameEncoding int
+
+const (
+	encNDJSON  frameEncoding = iota // one ASCII float per line
+	encFloat64                      // raw float64 little-endian
+	encRecords                      // length-prefixed x-vbrsim-frames records
+)
+
+func (e frameEncoding) contentType() string {
+	switch e {
+	case encFloat64:
+		return "application/octet-stream"
+	case encRecords:
+		return ContentTypeFrames
 	}
-	return strings.Contains(r.Header.Get("Accept"), "application/octet-stream")
+	return "application/x-ndjson"
+}
+
+// frameEncodingOf negotiates the frame encoding: the length-prefixed
+// record protocol for Accept: application/x-vbrsim-frames (or
+// format=frames), raw binary float64 for application/octet-stream (or
+// format=binary), NDJSON otherwise.
+func frameEncodingOf(r *http.Request) frameEncoding {
+	switch r.URL.Query().Get("format") {
+	case "frames":
+		return encRecords
+	case "binary":
+		return encFloat64
+	case "ndjson":
+		return encNDJSON
+	}
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, ContentTypeFrames):
+		return encRecords
+	case strings.Contains(accept, "application/octet-stream"):
+		return encFloat64
+	}
+	return encNDJSON
 }
 
 func sortSessionInfos(infos []SessionInfo) {

@@ -43,6 +43,10 @@ type StepResult struct {
 	Pos   int    `json:"pos"`   // position after the step
 	// Frames carries the stepped frames when requested.
 	Frames []float64 `json:"frames,omitempty"`
+	// Gone marks a session that was deleted or evicted between the
+	// request's atomic validation and this session's turn in the batch; it
+	// did not advance.
+	Gone bool `json:"gone,omitempty"`
 }
 
 // handleStreamStep advances many sessions at once: the batched-stepping
@@ -101,6 +105,11 @@ func (s *Server) handleStreamStep(w http.ResponseWriter, r *http.Request) {
 		par.For(par.Workers(workers, len(batch)), len(batch), func(_, i int) {
 			ss := batch[i]
 			ss.mu.Lock()
+			if ss.closed {
+				ss.mu.Unlock()
+				bres[i] = StepResult{ID: ss.id, Start: -1, Pos: -1, Gone: true}
+				return
+			}
 			res := StepResult{ID: ss.id, Start: ss.stream.Pos()}
 			if req.IncludeFrames {
 				res.Frames = make([]float64, req.N)
@@ -121,7 +130,13 @@ func (s *Server) handleStreamStep(w http.ResponseWriter, r *http.Request) {
 			ss.mu.Unlock()
 			bres[i] = res
 		})
-		s.metrics.framesStreamed.Add(float64(len(batch) * req.N))
+		advanced := 0
+		for i := range bres {
+			if !bres[i].Gone {
+				advanced++
+			}
+		}
+		s.metrics.framesStreamed.Add(float64(advanced * req.N))
 	}
 	writeJSON(w, http.StatusOK, results)
 }

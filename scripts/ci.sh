@@ -26,6 +26,14 @@ go test -race -short ./...
 echo "== go test"
 go test ./...
 
+echo "== shard gates"
+# The sharded-registry invariants at full strength (the -short run above
+# uses reduced iterations): shard topology must be invisible on the wire
+# (1/4/16 shards byte-identical) and 64-goroutine churn with the idle
+# evictor racing real traffic must leak no sessions, cost, or arena bytes.
+go test -race -run 'TestShardInvariance|TestShardedRegistryChurnStress' \
+    -count=1 ./internal/server
+
 echo "== conformance -quick"
 # Statistical acceptance gates: deterministic seeded checks that the
 # backends still produce paper-conformant traffic (marginal, ACF, Hurst,
@@ -53,12 +61,26 @@ go run ./cmd/bench -benchtime 300ms \
     -only 'DHPathRealInto|StreamTruncatedFill/n=16384|StreamBlockFill/n=16384|StreamBlockRefill|TrunkFillSerial' \
     -compare BENCH_5.json -threshold 0.25
 
+echo "== capacity ramp smoke"
+# Serving-capacity gate: ramp a 1k-session in-process fleet through the
+# sharded registry and diff request latency against the committed
+# BENCH_6.json entry. The smoke profile measures only the 1k rung (the
+# 10k/100k rungs in BENCH_6.json are recorded by -profile full and are
+# ignored by the diff, which only gates shared benchmarks). The 75%
+# threshold is deliberately loose — serving latency on shared CI hosts
+# is far noisier than the compute kernels above.
+go run ./cmd/loadgen -selfserve -profile smoke \
+    -compare BENCH_6.json -threshold 0.75
+
 echo "== fuzz smoke"
 # Bounded runs of the native fuzz targets: spec decoding must never panic
 # and quantile compaction must stay idempotent.
 go test ./internal/modelspec -run '^$' -fuzz 'FuzzModelSpecDecode' -fuzztime=5s
 go test ./internal/modelspec -run '^$' -fuzz 'FuzzTrunkSpecDecode' -fuzztime=5s
 go test ./internal/modelspec -run '^$' -fuzz 'FuzzQuantileRoundTrip' -fuzztime=5s
+# The binary frame protocol decoder must never panic and must classify
+# every malformed input as truncated or oversized, nothing else.
+go test ./internal/server -run '^$' -fuzz 'FuzzBinaryFrameDecode' -fuzztime=5s
 
 echo "== trafficd smoke test"
 # Start the daemon on an ephemeral port, hit /healthz and a 100-frame
@@ -112,7 +134,9 @@ for name in \
     vbrsim_plan_cache_evictions_total vbrsim_plan_cache_singleflight_waits_total \
     vbrsim_streamblock_refills_total vbrsim_streamblock_arena_bytes \
     vbrsim_streamblock_block_ns \
-    vbrsim_trunk_sessions_active vbrsim_trunk_sources_active vbrsim_trunk_fanout_ns
+    vbrsim_trunk_sessions_active vbrsim_trunk_sources_active vbrsim_trunk_fanout_ns \
+    vbrsim_server_shard_sessions vbrsim_server_admission_rejects_total \
+    vbrsim_server_evictions_total vbrsim_server_admission_cost_used
 do
     grep -q "^# TYPE $name " "$tmpdir/metrics" \
         || { echo "documented metric $name missing from /metrics" >&2; exit 1; }
