@@ -21,7 +21,7 @@ vet:
 ci:
 	./scripts/ci.sh
 
-# Runs the ablation suite and writes machine-readable BENCH_3.json.
+# Runs the ablation suite and writes machine-readable BENCH_7.json.
 bench:
 	$(GO) run ./cmd/bench
 

@@ -24,6 +24,7 @@
 //	loadgen -addr ... -trunk 16                     # trunk-session smoke
 //	loadgen -selfserve -profile full -o BENCH_6.json
 //	loadgen -selfserve -profile smoke -compare BENCH_6.json -threshold 0.75
+//	loadgen -selfserve -profile step -o BENCH_7.json   # batched-stepping rung
 //	loadgen -selfserve -sessions 10000 -shards 4 -duration 5s
 package main
 
@@ -80,7 +81,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		workers   = fs.Int("workers", 64, "capacity mode: concurrent request goroutines")
 		read      = fs.Int("read", 4, "capacity mode: frames per request")
 		procs     = fs.Int("procs", 8, "capacity mode: GOMAXPROCS for the serving stack (per-core numbers divide by this)")
-		profile   = fs.String("profile", "", "capacity mode: canned run set, \"full\" (BENCH_6 refresh) or \"smoke\" (CI gate subset)")
+		profile   = fs.String("profile", "", "capacity mode: canned run set, \"full\" (BENCH_6 refresh), \"smoke\" (CI gate subset), or \"step\" (batched-stepping rung for BENCH_7)")
 		out       = fs.String("o", "", "capacity mode: write results as a benchreport JSON file")
 		compare   = fs.String("compare", "", "capacity mode: old report to diff against; regressions beyond -threshold fail")
 		threshold = fs.Float64("threshold", 0.75, "fractional ns/op regression tolerated under -compare")
@@ -302,6 +303,10 @@ type capacityRun struct {
 	sessions int
 	shards   int
 	ramp     time.Duration
+	// stepN > 0 selects the batched-stepping measurement instead of frame
+	// reads: one driver goroutine advances the whole fleet by stepN frames
+	// per POST /v1/streams/step round.
+	stepN int
 }
 
 // runCapacity executes the requested runs and writes/diffs the report.
@@ -329,8 +334,17 @@ func runCapacity(ctx context.Context, f capacityFlags, stdout io.Writer) error {
 			{name: "ServeFrames/sessions10k-shards16", sessions: 10000, shards: 16},
 			{name: "ServeFrames/ramp100k-shards16", sessions: 100000, shards: 16, ramp: f.ramp},
 		}
+	case "step":
+		// The batched-stepping rung for BENCH_7.json: one simulation driver
+		// advancing a block-engine fleet through POST /v1/streams/step, the
+		// endpoint's sticky-chunk fan-out doing the parallelism. Written
+		// with -o BENCH_7.json it merges next to the cmd/bench ladder
+		// entries rather than replacing the file.
+		runs = []capacityRun{
+			{name: "StepFleet/sessions256-n1024", sessions: 256, shards: 16, stepN: 1024},
+		}
 	default:
-		return fmt.Errorf("unknown -profile %q (want \"full\" or \"smoke\")", f.profile)
+		return fmt.Errorf("unknown -profile %q (want \"full\", \"smoke\", or \"step\")", f.profile)
 	}
 
 	if f.procs > 0 {
@@ -353,10 +367,19 @@ func runCapacity(ctx context.Context, f capacityFlags, stdout io.Writer) error {
 	}
 	results := make(map[string]capacityResult, len(runs))
 	for _, cr := range runs {
-		res, err := measureCapacity(ctx, capacityConfig{
-			sessions: cr.sessions, shards: cr.shards, workers: f.workers,
-			read: f.read, ramp: cr.ramp, duration: f.duration, seed: f.seed,
-		})
+		var res capacityResult
+		var err error
+		if cr.stepN > 0 {
+			res, err = measureStep(ctx, stepConfig{
+				sessions: cr.sessions, shards: cr.shards, stepN: cr.stepN,
+				duration: f.duration, seed: f.seed,
+			})
+		} else {
+			res, err = measureCapacity(ctx, capacityConfig{
+				sessions: cr.sessions, shards: cr.shards, workers: f.workers,
+				read: f.read, ramp: cr.ramp, duration: f.duration, seed: f.seed,
+			})
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", cr.name, err)
 		}
@@ -394,6 +417,16 @@ func runCapacity(ctx context.Context, f capacityFlags, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "no capacity regression beyond %.0f%% vs %s\n", 100*f.threshold, f.compare)
 	}
 	if f.out != "" {
+		// Merge rather than replace: cmd/bench and loadgen both contribute
+		// entries to the committed report, so rungs already recorded there
+		// under other names survive a refresh of this profile's subset.
+		if existing, err := benchreport.ReadFile(f.out); err == nil {
+			for name, e := range existing.Benchmarks {
+				if _, ok := rep.Benchmarks[name]; !ok {
+					rep.Benchmarks[name] = e
+				}
+			}
+		}
 		if err := rep.WriteFile(f.out); err != nil {
 			return err
 		}
@@ -599,10 +632,100 @@ func measureCapacity(ctx context.Context, cfg capacityConfig) (capacityResult, e
 	return res, nil
 }
 
+type stepConfig struct {
+	sessions, shards, stepN int
+	duration                time.Duration
+	seed                    uint64
+}
+
+// measureStep ramps a block-engine paper fleet on a fresh in-process server
+// and measures steady-state batched stepping: a single driver goroutine —
+// the simulation-driver shape — advances the whole fleet by stepN frames
+// per POST /v1/streams/step request, while the endpoint's sticky-chunk
+// fan-out supplies the parallelism. Per-request latency and aggregate
+// frames/sec/core land in the same capacityResult/benchreport shape as the
+// frame-read rungs.
+func measureStep(ctx context.Context, cfg stepConfig) (capacityResult, error) {
+	res := capacityResult{
+		sessions: cfg.sessions, shards: cfg.shards, workers: 1,
+		read: cfg.stepN, gomaxprocs: runtime.GOMAXPROCS(0),
+	}
+	srv := server.New(server.Options{
+		MaxSessions: cfg.sessions + 1,
+		Shards:      cfg.shards,
+		Seed:        cfg.seed,
+		Registry:    obs.NewRegistry(),
+	})
+	defer srv.Close()
+
+	rampStart := time.Now()
+	ids := make([]string, cfg.sessions)
+	for i := range ids {
+		spec := paperSpecFor(cfg.seed + uint64(i))
+		spec.Engine = modelspec.EngineBlock
+		id, err := createSessionSpec(srv, spec)
+		if err != nil {
+			return res, fmt.Errorf("create session %d: %w", i, err)
+		}
+		ids[i] = id
+	}
+	res.rampElapsed = time.Since(rampStart)
+
+	body, err := json.Marshal(server.StepRequest{IDs: ids, N: cfg.stepN})
+	if err != nil {
+		return res, err
+	}
+	var lat []int64
+	rec := &discardWriter{}
+	deadline := time.Now().Add(cfg.duration)
+	for {
+		req := &http.Request{
+			Method:     "POST",
+			URL:        &url.URL{Path: "/v1/streams/step"},
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     http.Header{"Content-Type": []string{"application/json"}},
+			Body:       io.NopCloser(bytes.NewReader(body)),
+			Host:       "loadgen",
+			RemoteAddr: "127.0.0.1:1",
+		}
+		rec.reset()
+		t0 := time.Now()
+		srv.ServeHTTP(rec, req.WithContext(ctx))
+		t1 := time.Now()
+		if rec.code != http.StatusOK {
+			return res, fmt.Errorf("step round %d: HTTP %d", len(lat), rec.code)
+		}
+		lat = append(lat, t1.Sub(t0).Nanoseconds())
+		if t1.After(deadline) {
+			break
+		}
+	}
+
+	var sum int64
+	for _, v := range lat {
+		sum += v
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	res.requests = len(lat)
+	res.meanNs = float64(sum) / float64(len(lat))
+	res.p50 = time.Duration(lat[len(lat)/2])
+	res.p99 = time.Duration(lat[len(lat)*99/100])
+	res.framesPerSec = float64(len(lat)) * float64(cfg.sessions) * float64(cfg.stepN) /
+		(float64(sum) / 1e9)
+	return res, nil
+}
+
 // createSession opens one TES session through the full HTTP surface and
 // returns its id.
 func createSession(srv *server.Server, seed uint64) (string, error) {
-	spec := tesSpec(seed)
+	return createSessionSpec(srv, tesSpec(seed))
+}
+
+// createSessionSpec opens one session of the given spec through the full
+// HTTP surface and returns its id.
+func createSessionSpec(srv *server.Server, spec modelspec.Spec) (string, error) {
 	body, err := json.Marshal(&spec)
 	if err != nil {
 		return "", err

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"vbrsim/internal/benchreport"
 	"vbrsim/internal/server"
 )
 
@@ -96,6 +97,70 @@ func TestMeasureCapacitySmall(t *testing.T) {
 	}
 	if e.Extra["frames_per_sec_core"] <= 0 || e.Extra["p99_us"] <= 0 {
 		t.Fatalf("entry missing capacity extras: %+v", e)
+	}
+}
+
+// TestMeasureStepSmall runs the batched-stepping rung at toy scale: the
+// driver must complete rounds against a block-engine fleet and produce a
+// coherent benchreport entry with the frames/sec/core extras.
+func TestMeasureStepSmall(t *testing.T) {
+	res, err := measureStep(context.Background(), stepConfig{
+		sessions: 4, shards: 2, stepN: 64,
+		duration: 50 * time.Millisecond,
+		seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.requests <= 0 || res.framesPerSec <= 0 {
+		t.Fatalf("empty measurement: %+v", res)
+	}
+	if res.p99 < res.p50 || res.p50 <= 0 {
+		t.Fatalf("percentiles inverted: p50=%v p99=%v", res.p50, res.p99)
+	}
+	e := res.entry()
+	if e.Extra["sessions"] != 4 || e.Extra["frames_per_request"] != 64 {
+		t.Fatalf("malformed entry: %+v", e)
+	}
+	if e.Extra["frames_per_sec_core"] <= 0 {
+		t.Fatalf("entry missing frames/sec/core: %+v", e)
+	}
+}
+
+// TestReportMergeOnWrite checks the -o merge semantics: entries already in
+// the target report under other names survive a profile refresh, while
+// same-name entries are replaced by the fresh measurement.
+func TestReportMergeOnWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/report.json"
+	old := benchreport.Report{
+		Benchmarks: map[string]benchreport.Entry{
+			"Other/ladder-entry":          {NsPerOp: 123},
+			"StepFleet/sessions256-n1024": {NsPerOp: 999},
+		},
+	}
+	if err := old.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err := runCapacity(context.Background(), capacityFlags{
+		sessions: 4, shards: 2, workers: 2, read: 2,
+		duration: 50 * time.Millisecond, seed: 7, procs: 1,
+		out: path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := benchreport.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Benchmarks["Other/ladder-entry"]; !ok {
+		t.Fatalf("merge dropped unrelated entry: %v", got.Benchmarks)
+	}
+	if _, ok := got.Benchmarks["ServeFrames/sessions4-shards2"]; !ok {
+		t.Fatalf("fresh entry missing: %v", got.Benchmarks)
 	}
 }
 

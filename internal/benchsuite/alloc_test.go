@@ -1,0 +1,64 @@
+package benchsuite
+
+import (
+	"testing"
+
+	"vbrsim/internal/daviesharte"
+	"vbrsim/internal/rng"
+)
+
+// TestDHSteadyStateZeroAlloc is the alloc gate behind the DHPathInto,
+// DHPathRealInto, and DHBatch bench entries: after one warm call grows the
+// scratch arena, the steady-state synthesis loops must not allocate at
+// all. The benchmarks warm before ResetTimer for the same reason, so their
+// allocs_per_op columns report the steady state this test enforces.
+func TestDHSteadyStateZeroAlloc(t *testing.T) {
+	plan, err := daviesharte.NewPlan(benchModel, dhLen, daviesharte.Options{AllowApprox: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("PathInto", func(t *testing.T) {
+		r := rng.New(1)
+		var s daviesharte.Scratch
+		out := make([]float64, dhLen)
+		plan.PathInto(out, &s, r)
+		if allocs := testing.AllocsPerRun(10, func() {
+			plan.PathInto(out, &s, r)
+		}); allocs != 0 {
+			t.Fatalf("PathInto steady state allocates %v/op, want 0", allocs)
+		}
+	})
+
+	t.Run("PathRealInto", func(t *testing.T) {
+		r := rng.New(1)
+		var s daviesharte.Scratch
+		out := make([]float64, dhLen)
+		plan.PathRealInto(out, &s, r)
+		if allocs := testing.AllocsPerRun(10, func() {
+			plan.PathRealInto(out, &s, r)
+		}); allocs != 0 {
+			t.Fatalf("PathRealInto steady state allocates %v/op, want 0", allocs)
+		}
+	})
+
+	t.Run("Batch", func(t *testing.T) {
+		dst := make([][]float64, dhBatchSz)
+		seeds := make([]uint64, dhBatchSz)
+		for i := range dst {
+			dst[i] = make([]float64, dhLen)
+			seeds[i] = uint64(i + 1)
+		}
+		scratch := []*daviesharte.Scratch{new(daviesharte.Scratch)}
+		if err := plan.Batch(dst, seeds, scratch); err != nil {
+			t.Fatal(err)
+		}
+		if allocs := testing.AllocsPerRun(10, func() {
+			if err := plan.Batch(dst, seeds, scratch); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Fatalf("Batch steady state (single worker) allocates %v/op, want 0", allocs)
+		}
+	})
+}

@@ -47,6 +47,7 @@ func Suite() []Bench {
 		{"FFTForwardReference/n=8192", BenchFFTForwardReference},
 		{"FFTForwardTabled/n=8192", BenchFFTForwardTabled},
 		{"FFTRealForward/n=8192", BenchFFTRealForward},
+		{"FFTHermitianReal/n=8192", BenchFFTHermitianReal},
 		{"TransformApplyExact/n=4096", BenchTransformApplyExact},
 		{"TransformApplyLUT/n=4096", BenchTransformApplyLUT},
 		{"StreamTruncatedFill/n=4096", BenchStreamTruncatedFill4096},
@@ -60,6 +61,7 @@ func Suite() []Bench {
 		{"BatchExactFill/n=65536", BenchBatchExactFill65536},
 		{"StreamBlockRefill/n=7831", BenchStreamBlockRefill},
 		{"StreamStepMany/s=32,n=1024", BenchStreamStepMany},
+		{"StreamStepAffinity/s=32,n=1024", BenchStreamStepAffinity},
 		{"TrunkFill/s=4", BenchTrunkFill4},
 		{"TrunkFill/s=64", BenchTrunkFill64},
 		{"TrunkFill/s=1024", BenchTrunkFill1024},

@@ -70,6 +70,7 @@ func BenchDHPathInto(b *testing.B) {
 	r := rng.New(1)
 	var s daviesharte.Scratch
 	out := make([]float64, dhLen)
+	plan.PathInto(out, &s, r) // warm: scratch grows once, then 0 B/op
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		plan.PathInto(out, &s, r)
@@ -83,6 +84,7 @@ func BenchDHPathRealInto(b *testing.B) {
 	r := rng.New(1)
 	var s daviesharte.Scratch
 	out := make([]float64, dhLen)
+	plan.PathRealInto(out, &s, r) // warm: scratch grows once, then 0 B/op
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		plan.PathRealInto(out, &s, r)
@@ -100,6 +102,9 @@ func BenchDHBatch(b *testing.B) {
 		seeds[i] = uint64(i + 1)
 	}
 	scratch := []*daviesharte.Scratch{new(daviesharte.Scratch)}
+	if err := plan.Batch(dst, seeds, scratch); err != nil { // warm the arena
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := plan.Batch(dst, seeds, scratch); err != nil {
@@ -148,6 +153,26 @@ func BenchFFTRealForward(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := fft.RealForward(a, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchFFTHermitianReal runs the fused inverse half-spectrum kernel (the
+// Davies-Harte synthesis back end): Hermitian scatter + radix-2² inverse
+// stages + unpack in one pass, with cache-blocked tiles above stageTile.
+func BenchFFTHermitianReal(b *testing.B) {
+	h := fftLen / 2
+	a := benchSpectrum(h + 1)
+	// The kernel requires a genuinely Hermitian-representable input:
+	// real DC and Nyquist bins.
+	a[0] = complex(real(a[0]), 0)
+	a[h] = complex(real(a[h]), 0)
+	out := make([]float64, fftLen)
+	z := make([]complex128, h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fft.HermitianReal(out, a, z); err != nil {
 			b.Fatal(err)
 		}
 	}

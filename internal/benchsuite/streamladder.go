@@ -163,7 +163,9 @@ func BenchStreamBlockRefill(b *testing.B) {
 
 // BenchStreamStepMany steps 32 block-engine sessions by 1024 frames each
 // through the par pool — the trafficd batched-stepping shape — so the
-// aggregate frames/sec/core scaling with GOMAXPROCS is on the record.
+// aggregate frames/sec/core scaling with GOMAXPROCS is on the record. The
+// step closure is hoisted out of the timed loop so the only per-op
+// allocations are the fan-out's own goroutine overhead.
 func BenchStreamStepMany(b *testing.B) {
 	f := getLadder(b)
 	const frames = 1024
@@ -173,11 +175,40 @@ func BenchStreamStepMany(b *testing.B) {
 		bufs[i] = make([]float64, frames)
 		f.stepStreams[i].Fill(bufs[i])
 	}
+	step := func(_, j int) {
+		f.stepStreams[j].Fill(bufs[j])
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		par.For(workers, len(f.stepStreams), func(_, j int) {
+		par.For(workers, len(f.stepStreams), step)
+	}
+	total := float64(len(f.stepStreams) * frames)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/total, "ns/frame")
+}
+
+// BenchStreamStepAffinity is the same 32-session step through the
+// sticky-chunk fan-out trafficd now uses for /v1/streams/step: each worker
+// walks one contiguous run of sessions, and the worker→range mapping is
+// stable across rounds, so every session's synthesis arena stays in one
+// worker's cache. Read against StreamStepMany as the striped-vs-sticky
+// fan-out ratio (output is bit-identical; sessions own their randomness).
+func BenchStreamStepAffinity(b *testing.B) {
+	f := getLadder(b)
+	const frames = 1024
+	workers := par.Workers(runtime.GOMAXPROCS(0), len(f.stepStreams))
+	bufs := make([][]float64, len(f.stepStreams))
+	for i := range bufs {
+		bufs[i] = make([]float64, frames)
+		f.stepStreams[i].Fill(bufs[i])
+	}
+	step := func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
 			f.stepStreams[j].Fill(bufs[j])
-		})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		par.ForChunks(workers, len(f.stepStreams), step)
 	}
 	total := float64(len(f.stepStreams) * frames)
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/total, "ns/frame")

@@ -16,7 +16,7 @@ import (
 // summed into one aggregate. The headline number is frames/sec/core of
 // aggregate output — each aggregate frame costs N component frames plus the
 // reduction — and the serial rung doubles as the zero-steady-state-alloc
-// gate recorded in BENCH_5.json.
+// gate recorded in the committed BENCH report (BENCH_7.json).
 
 // trunkLadderSources are the ladder's source counts.
 var trunkLadderSources = []int{4, 64, 1024}

@@ -45,6 +45,7 @@ type Plan struct {
 	m            int       // circulant size (power of two, >= 2n)
 	sqrtLambda   []float64 // sqrt(eigenvalue / m), length m
 	scale        []float64 // sqrtLambda[k] / sqrt(2) for k = 1..m/2-1
+	weights      []float64 // per-bin half-spectrum scales, length m/2+1
 	negativeMass float64   // relative mass of clamped negative eigenvalues
 }
 
@@ -99,7 +100,15 @@ func NewPlan(model acf.Model, n int, opt Options) (*Plan, error) {
 	for k := 1; k < m/2; k++ {
 		scale[k] = sqrtLambda[k] * invSqrt2
 	}
-	return &Plan{n: n, m: m, sqrtLambda: sqrtLambda, scale: scale, negativeMass: rel}, nil
+	// weights is the same scale schedule laid out as one dense half-spectrum
+	// vector for the fused synthesis kernel: the kernel's inline multiply
+	// weights[k]·draw is the exact multiply fillSpectrum would have performed,
+	// so PathRealInto keeps its outputs bit-for-bit.
+	weights := make([]float64, m/2+1)
+	weights[0] = sqrtLambda[0]
+	weights[m/2] = sqrtLambda[m/2]
+	copy(weights[1:m/2], scale[1:])
+	return &Plan{n: n, m: m, sqrtLambda: sqrtLambda, scale: scale, weights: weights, negativeMass: rel}, nil
 }
 
 // Len returns the path length the plan produces.
@@ -171,13 +180,31 @@ func (p *Plan) PathInto(dst []float64, s *Scratch, r *rng.Source) {
 	}
 }
 
+// fillRawSpectrum draws the half-spectrum normal components unscaled, in
+// exactly fillSpectrum's draw order. The per-bin √(λ_k/m) scales are applied
+// inside the fused synthesis kernel instead (fft.HermitianRealScaled), which
+// performs the identical multiplies — so fused synthesis stays bit-identical
+// to scaling at fill time while never materializing the scaled spectrum.
+func (p *Plan) fillRawSpectrum(a []complex128, r *rng.Source) {
+	h := p.m / 2
+	a[0] = complex(r.Norm(), 0)
+	a[h] = complex(r.Norm(), 0)
+	for k := 1; k < h; k++ {
+		re := r.Norm()
+		im := r.Norm()
+		a[k] = complex(re, im)
+	}
+}
+
 // PathRealInto is PathInto computed through the packed real-input FFT: the
 // Hermitian half-spectrum is synthesized with one complex transform of length
-// m/2 instead of m, roughly halving the FFT work. The normal draws and their
-// order are identical to Path; only the transform's rounding differs, so
-// results agree with Path to floating-point accuracy (~1e-10 absolute for the
-// path lengths used here) but are not bit-identical. Golden-pinned callers
-// use PathInto; replication loops use this.
+// m/2 instead of m, roughly halving the FFT work, with the Davies–Harte
+// spectrum scales folded into the kernel's first pass so the scaled spectrum
+// is never stored. The normal draws and their order are identical to Path;
+// only the transform's rounding differs, so results agree with Path to
+// floating-point accuracy (~1e-10 absolute for the path lengths used here)
+// but are not bit-identical. Golden-pinned callers use PathInto; replication
+// loops use this.
 func (p *Plan) PathRealInto(dst []float64, s *Scratch, r *rng.Source) {
 	if s == nil {
 		s = &Scratch{}
@@ -185,8 +212,8 @@ func (p *Plan) PathRealInto(dst []float64, s *Scratch, r *rng.Source) {
 	s.grow(p.m)
 	h := p.m / 2
 	a := s.a[:h+1]
-	p.fillSpectrum(a, r)
-	if err := fft.HermitianReal(dst[:p.n], a, s.z[:h]); err != nil {
+	p.fillRawSpectrum(a, r)
+	if err := fft.HermitianRealScaled(dst[:p.n], a, p.weights, s.z[:h]); err != nil {
 		panic("daviesharte: internal FFT error: " + err.Error())
 	}
 }

@@ -17,8 +17,18 @@ var ErrNotPowerOfTwo = errors.New("fft: length is not a power of two")
 // IsPowerOfTwo reports whether n is a positive power of two.
 func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
 
-// NextPowerOfTwo returns the smallest power of two >= n (and >= 1).
+// maxPowerOfTwo is the largest power of two representable in an int
+// (2^62 on 64-bit platforms, 2^30 on 32-bit).
+const maxPowerOfTwo = (int(^uint(0)>>1) >> 1) + 1
+
+// NextPowerOfTwo returns the smallest power of two >= n (and >= 1). It
+// panics when n exceeds the largest power-of-two int: the doubling loop
+// would otherwise overflow through negative values and spin forever, and no
+// caller can allocate a buffer that large anyway.
 func NextPowerOfTwo(n int) int {
+	if n > maxPowerOfTwo {
+		panic("fft: NextPowerOfTwo overflow: no power-of-two int >= n")
+	}
 	p := 1
 	for p < n {
 		p <<= 1
@@ -36,7 +46,7 @@ func Forward(x []complex128) error {
 		return ErrNotPowerOfTwo
 	}
 	t := tablesFor(n)
-	t.apply(x, t.fwd)
+	t.apply(x, t.fwdStages)
 	return nil
 }
 
@@ -49,7 +59,7 @@ func Inverse(x []complex128) error {
 		return ErrNotPowerOfTwo
 	}
 	t := tablesFor(n)
-	t.apply(x, t.inv)
+	t.apply(x, t.invStages)
 	d := complex(float64(n), 0)
 	for i := range x {
 		x[i] /= d

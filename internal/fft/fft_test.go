@@ -99,10 +99,41 @@ func TestNonPowerOfTwoRejected(t *testing.T) {
 }
 
 func TestNextPowerOfTwo(t *testing.T) {
-	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024}
-	for in, want := range cases {
-		if got := NextPowerOfTwo(in); got != want {
-			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
+	cases := []struct {
+		in, want int
+		panics   bool
+	}{
+		{in: -5, want: 1},
+		{in: 0, want: 1},
+		{in: 1, want: 1},
+		{in: 2, want: 2},
+		{in: 3, want: 4},
+		{in: 4, want: 4},
+		{in: 5, want: 8},
+		{in: 1000, want: 1024},
+		{in: 1024, want: 1024},
+		{in: maxPowerOfTwo - 1, want: maxPowerOfTwo},
+		{in: maxPowerOfTwo, want: maxPowerOfTwo},
+		// Past the largest power-of-two int the doubling loop would overflow
+		// and spin forever; the guard must panic instead.
+		{in: maxPowerOfTwo + 1, panics: true},
+		{in: int(^uint(0) >> 1), panics: true}, // max int
+	}
+	for _, tc := range cases {
+		got, panicked := func() (n int, panicked bool) {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			return NextPowerOfTwo(tc.in), false
+		}()
+		if panicked != tc.panics {
+			t.Errorf("NextPowerOfTwo(%d): panicked=%v, want %v", tc.in, panicked, tc.panics)
+			continue
+		}
+		if !tc.panics && got != tc.want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", tc.in, got, tc.want)
 		}
 	}
 }

@@ -34,8 +34,33 @@ func (s *Scratch) buffers(h int) (a, z []complex128) {
 // produce in positions 0..h (the remaining positions follow by Hermitian
 // symmetry and are not stored). len(x) must be a power of two and len(a) at
 // least h+1. The transform packs adjacent sample pairs into one complex FFT
-// of half the length, roughly halving the work of the complex path.
+// of half the length, roughly halving the work of the complex path; the
+// packing, permutation, and Hermitian unpack are fused into the first and
+// last butterfly stages (see realForwardFused), bit-identical to the unfused
+// RealForwardReference.
 func RealForward(a []complex128, x []float64) error {
+	m := len(x)
+	if !IsPowerOfTwo(m) {
+		return ErrNotPowerOfTwo
+	}
+	h := m / 2
+	if len(a) < h+1 {
+		return ErrBadLength
+	}
+	if m == 1 {
+		a[0] = complex(x[0], 0)
+		return nil
+	}
+	realForwardFused(a[:h+1], x, tablesFor(h))
+	return nil
+}
+
+// RealForwardReference is the unfused oracle for RealForward: explicit pair
+// packing, the half-length reference FFT, then the Hermitian unpack as a
+// separate pass — the three passes the fused kernel collapses. RealForward
+// must stay bit-identical to it (ForwardReference is itself bit-identical to
+// the tabled transform the pre-fusion implementation used).
+func RealForwardReference(a []complex128, x []float64) error {
 	m := len(x)
 	if !IsPowerOfTwo(m) {
 		return ErrNotPowerOfTwo
@@ -51,10 +76,146 @@ func RealForward(a []complex128, x []float64) error {
 	for j := 0; j < h; j++ {
 		a[j] = complex(x[2*j], x[2*j+1])
 	}
-	t := tablesFor(h)
-	t.apply(a[:h], t.fwd)
-	realUnpack(a[:h+1], t)
+	if err := ForwardReference(a[:h]); err != nil {
+		return err
+	}
+	realUnpack(a[:h+1], tablesFor(h))
 	return nil
+}
+
+// realForwardFused computes the half-spectrum of the 2h real samples in x
+// into a (len(a) == h+1, h == t.n >= 1) as one fused pipeline:
+//
+//   - The pair packing z_j = (x[2j], x[2j+1]) is folded into the bit-reversal
+//     scatter and the length-2 butterfly stage. For even i, rev[i+1] equals
+//     rev[i]+h/2 (the low input bit reverses to the high output bit), so the
+//     butterfly at positions (i, i+1) combines z_r and z_{r+h/2} with
+//     r = rev[i] — both read straight out of x, never materialized.
+//   - Middle stages run through the shared cache-tiled stage loops.
+//   - The final butterfly stage is fused with the Hermitian unpack
+//     (realForwardFinish), so Z is never stored either.
+//
+// Pack+scatter fusion is pure data movement and the butterfly arithmetic is
+// untouched, so the result is bit-identical to the three-pass reference.
+func realForwardFused(a []complex128, x []float64, t *tables) {
+	h := t.n
+	if h == 1 {
+		a[0] = complex(x[0], x[1])
+	} else {
+		rev := t.rev
+		for i := 0; i < h; i += 2 {
+			r := int(rev[i])
+			u := complex(x[2*r], x[2*r+1])
+			v := complex(x[2*r+h], x[2*r+h+1])
+			a[i], a[i+1] = u+v, u-v
+		}
+	}
+	realForwardFinish(a, t)
+}
+
+// realForwardPadded is realForwardFused for the zero-padded autocovariance
+// pack: element j of the packed sequence is x[j]-mean for j < len(x) and 0
+// past the end. Bit-identical to packing into a zero-filled buffer first —
+// the zeros flow through the same butterflies either way.
+func realForwardPadded(a []complex128, x []float64, mean float64, t *tables) {
+	h := t.n
+	if h == 1 {
+		a[0] = padAt(x, 0, mean)
+	} else {
+		rev := t.rev
+		for i := 0; i < h; i += 2 {
+			r := 2 * int(rev[i])
+			u := padAt(x, r, mean)
+			v := padAt(x, r+h, mean)
+			a[i], a[i+1] = u+v, u-v
+		}
+	}
+	realForwardFinish(a, t)
+}
+
+// padAt reads the packed pair starting at sample index j of the centered,
+// zero-padded sequence.
+func padAt(x []float64, j int, mean float64) complex128 {
+	if j+1 < len(x) {
+		return complex(x[j]-mean, x[j+1]-mean)
+	}
+	if j < len(x) {
+		return complex(x[j]-mean, 0)
+	}
+	return 0
+}
+
+// realForwardFinish runs the middle butterfly stages (cache-tiled) over the
+// packed spectrum in a[:h] and then the final stage fused with the Hermitian
+// unpack. The final stage's butterfly k yields Z[k] and Z[h/2+k]; the unpack
+// pair (k, h-k) needs Z[k] and Z[h-k], which is the "-" output of butterfly
+// h/2-k — so butterflies k and h/2-k are processed together and their four
+// outputs feed the unpack pairs (k, h-k) and (h/2-k, h/2+k) while still in
+// registers. Butterfly 0 feeds the DC/Nyquist unpack and the conjugated
+// midpoint; butterfly h/4 is self-paired. Per-butterfly and per-pair
+// arithmetic is ordered exactly as the separate stage + realUnpack passes,
+// so the fusion is bit-exact.
+func realForwardFinish(a []complex128, t *tables) {
+	h := t.n
+	stages := t.fwdStages
+	if h >= 8 {
+		tile := h
+		if tile > stageTile {
+			tile = stageTile
+		}
+		if tile < h {
+			for lo := 0; lo < h; lo += tile {
+				stageRange(a[lo:lo+tile], stages, 2, tile)
+			}
+			stageRange(a[:h], stages, tile, h/2)
+		} else {
+			stageRange(a[:h], stages, 2, h/2)
+		}
+	}
+	switch {
+	case h >= 4:
+		h2, h4 := h>>1, h>>2
+		stage := stages[len(stages)-1]
+		rot := t.rotation()
+		v0 := a[h2] * stage[0]
+		z0 := a[0] + v0
+		zn := a[0] - v0 // Z[h/2], the self-conjugate midpoint
+		a[h2] = complex(real(zn), -imag(zn))
+		a[h] = complex(real(z0)-imag(z0), 0)
+		a[0] = complex(real(z0)+imag(z0), 0)
+		for k := 1; k < h4; k++ {
+			j := h2 - k
+			uk, vk := a[k], a[k+h2]*stage[k]
+			zk, zka := uk+vk, uk-vk // Z[k], Z[h/2+k]
+			uj, vj := a[j], a[j+h2]*stage[j]
+			zj, zja := uj+vj, uj-vj // Z[h/2-k], Z[h-k]
+			a[k], a[h-k] = unpackPair(zk, zja, rot[k])
+			a[j], a[h2+k] = unpackPair(zj, zka, rot[j])
+		}
+		um, vm := a[h4], a[h4+h2]*stage[h4]
+		a[h4], a[h-h4] = unpackPair(um+vm, um-vm, rot[h4])
+	case h == 2:
+		z0, z1 := a[0], a[1]
+		a[0] = complex(real(z0)+imag(z0), 0)
+		a[2] = complex(real(z0)-imag(z0), 0)
+		a[1] = complex(real(z1), -imag(z1))
+	default: // h == 1
+		z0 := a[0]
+		a[0] = complex(real(z0)+imag(z0), 0)
+		a[1] = complex(real(z0)-imag(z0), 0)
+	}
+}
+
+// unpackPair applies the Hermitian unpack identity to the final-stage
+// butterfly outputs zk = Z[k] and zm = Z[h-k] with rk = rot[k], ordered
+// exactly as realUnpack's loop body so the fused path stays bit-identical.
+func unpackPair(zk, zm, rk complex128) (ak, am complex128) {
+	czm := complex(real(zm), -imag(zm))
+	czk := complex(real(zk), -imag(zk))
+	f := complex(real(rk), -imag(rk)) // conj(rot[k]) = -(i/2)ω^k
+	ak = (zk+czm)*complex(0.5, 0) + f*(zk-czm)
+	am = (zm+czk)*complex(0.5, 0) + rk*(zm-czk)
+	return ak, am
 }
 
 // realUnpack converts the packed half-length spectrum Z (in a[:h]) into the
@@ -63,7 +224,9 @@ func RealForward(a []complex128, x []float64) error {
 //	A[k] = (Z[k]+conj(Z[h-k]))/2 - (i/2)·ω^k·(Z[k]-conj(Z[h-k])), ω = e^{-2πi/m}
 //
 // using f[h-k] = conj(f[k]) for the mirror factor, so only the table of
-// f[k] = conj(rot[k]) for k ≤ h/2 is needed.
+// f[k] = conj(rot[k]) for k ≤ h/2 is needed. Retained as the reference
+// unpack pass; the production path runs it fused into the final butterfly
+// stage (realForwardFinish).
 func realUnpack(a []complex128, t *tables) {
 	h := len(a) - 1
 	rot := t.rotation()
@@ -104,33 +267,77 @@ func HermitianReal(out []float64, a, z []complex128) error {
 	if len(z) < h || len(out) > 2*h {
 		return ErrBadLength
 	}
-	hermitianReal(out, a, z[:h], tablesFor(h))
+	t := tablesFor(h)
+	hermitianScatter(z[:h], a, t)
+	hermitianKernel(out, z[:h], t)
 	return nil
 }
 
-// hermitianReal is the table-threaded core of HermitianReal. The half-length
-// inverse-kernel FFT is inlined rather than delegated to tables.apply so the
-// bit-reversal scatter fuses into the pair-rotation pass (one write instead
-// of a build pass plus a permutation pass). This path is not bit-pinned, so
-// it also takes the liberties the golden-traced complex path cannot: the
-// pair rotation runs on hand-expanded real arithmetic (4 multiplies per pair
-// instead of 4 complex products), the length-4 stage uses the exact ±i
-// twiddles, and later stages run as fused radix-2² double stages that touch
-// each element once per two stages.
-func hermitianReal(out []float64, a, z []complex128, t *tables) {
+// HermitianRealScaled is HermitianReal over the spectrum w[k]·a[k] without
+// materializing it: the real per-bin weights (for Davies–Harte, the
+// √(n·λ_k) spectrum scales) are folded into the kernel's pair-rotation
+// first pass. The products w[k]·Re a[k] and w[k]·Im a[k] are the same
+// multiplies a pre-scaling pass would perform, so the output is
+// bit-identical to scaling first and calling HermitianReal. len(w) must be
+// at least len(a).
+func HermitianRealScaled(out []float64, a []complex128, w []float64, z []complex128) error {
 	h := len(a) - 1
+	if !IsPowerOfTwo(h) {
+		return ErrNotPowerOfTwo
+	}
+	if len(z) < h || len(out) > 2*h || len(w) < h+1 {
+		return ErrBadLength
+	}
+	t := tablesFor(h)
+	hermitianScatterScaled(z[:h], a, w, t)
+	hermitianKernel(out, z[:h], t)
+	return nil
+}
+
+// HermitianRealConjProduct is HermitianReal over the spectrum
+// conj(s[k]·g[k]) without materializing it: the bin-wise product and
+// conjugation (the correction-spectrum stitch in internal/streamblock) run
+// inside the kernel's pair-rotation first pass. The operation sequence per
+// bin matches a separate multiply-conjugate pass exactly, so the output is
+// bit-identical to computing the product spectrum first. len(g) must be at
+// least len(s); s and g are left unmodified.
+func HermitianRealConjProduct(out []float64, s, g, z []complex128) error {
+	h := len(s) - 1
+	if !IsPowerOfTwo(h) {
+		return ErrNotPowerOfTwo
+	}
+	if len(z) < h || len(out) > 2*h || len(g) < h+1 {
+		return ErrBadLength
+	}
+	t := tablesFor(h)
+	hermitianScatterConjProduct(z[:h], s, g, t)
+	hermitianKernel(out, z[:h], t)
+	return nil
+}
+
+// hermitianScatter performs the pair-rotation pass over the half-spectrum a
+// as-is, scattering Z to bit-reversed positions for hermitianKernel. Reading
+// the conjugated doubled spectrum W[k] = 2·conj(A[k]) on the fly, the packed
+// half-length input is
+//
+//	Z[k]   = (W[k]+conj(W[h-k]))/2 + rot[k]·(W[k]-conj(W[h-k]))
+//	Z[h-k] = (W[h-k]+conj(W[k]))/2 + conj(rot[k])·(W[h-k]-conj(W[k]))
+//
+// With A[k] = (p,q), A[h-k] = (s,u), rot[k] = (rr,ri), and the shared terms
+// A = rr·(p-s), B = ri·(q+u), C = ri·(p-s), D = rr·(q+u), expanding the
+// complex algebra gives
+//
+//	Z[k]   = (p+s + 2(A+B),  (u-q) + 2(C-D))
+//	Z[h-k] = (p+s - 2(A+B),  (q-u) + 2(C-D))
+//
+// — four real multiplies per pair instead of four complex products. The
+// scaled and conj-product variants repeat this body verbatim (it exceeds the
+// inliner's budget as a helper, and the scatter runs once per synthesized
+// block); only the spectrum reads feeding (p,q,s,u) differ.
+func hermitianScatter(z, a []complex128, t *tables) {
+	h := t.n
 	rot := t.rotation()
 	rev := t.rev
-	// Pair rotation, reading the conjugated doubled spectrum W[k] =
-	// 2·conj(a[k]) on the fly and scattering Z to bit-reversed positions:
-	//   Z[k]   = (W[k]+conj(W[h-k]))/2 + rot[k]·(W[k]-conj(W[h-k]))
-	//   Z[h-k] = (W[h-k]+conj(W[k]))/2 + conj(rot[k])·(W[h-k]-conj(W[k]))
-	// With a[k] = (p,q), a[h-k] = (s,u), rot[k] = (rr,ri), and the shared
-	// terms A = rr·(p-s), B = ri·(q+u), C = ri·(p-s), D = rr·(q+u),
-	// expanding the complex algebra gives
-	//   Z[k]   = (p+s + 2(A+B),  (u-q) + 2(C-D))
-	//   Z[h-k] = (p+s - 2(A+B),  (q-u) + 2(C-D))
-	// — four real multiplies per pair instead of four complex products.
 	a0, ah := real(a[0]), real(a[h])
 	z[0] = complex(a0+ah, a0-ah)
 	for k := 1; k < h-k; k++ {
@@ -152,33 +359,130 @@ func hermitianReal(out []float64, a, z []complex128, t *tables) {
 		// rotation to Z[h/2] = 2·a[h/2].
 		z[rev[h/2]] = complex(2*real(a[h/2]), 2*imag(a[h/2]))
 	}
-	// Inverse-kernel FFT of length h over the pre-scattered z (unnormalized;
-	// the synthesis constants are folded into W). Length-2 and length-4
-	// stages use their exact twiddles (1 and ±i) fused into one pass.
+}
+
+// hermitianScatterScaled is hermitianScatter over the spectrum w[k]·a[k],
+// computing each scaled component inline. A pre-scaling pass would perform
+// the identical multiplies, so the Z values are bit-equal.
+func hermitianScatterScaled(z, a []complex128, w []float64, t *tables) {
+	h := t.n
+	rot := t.rotation()
+	rev := t.rev
+	a0, ah := w[0]*real(a[0]), w[h]*real(a[h])
+	z[0] = complex(a0+ah, a0-ah)
+	for k := 1; k < h-k; k++ {
+		wk, wm := w[k], w[h-k]
+		p, q := wk*real(a[k]), wk*imag(a[k])
+		s, u := wm*real(a[h-k]), wm*imag(a[h-k])
+		rr, ri := real(rot[k]), imag(rot[k])
+		dp := p - s
+		sq := q + u
+		A := rr * dp
+		B := ri * sq
+		C := ri * dp
+		D := rr * sq
+		ps := p + s
+		z[rev[k]] = complex(ps+2*(A+B), (u-q)+2*(C-D))
+		z[rev[h-k]] = complex(ps-2*(A+B), (q-u)+2*(C-D))
+	}
+	if h >= 2 {
+		wm := w[h/2]
+		z[rev[h/2]] = complex(2*(wm*real(a[h/2])), 2*(wm*imag(a[h/2])))
+	}
+}
+
+// hermitianScatterConjProduct is hermitianScatter over the spectrum
+// conj(s[k]·g[k]), computing each product bin inline. The per-bin sequence —
+// complex product, then negated imaginary part — matches a separate
+// multiply-conjugate pass, so the Z values are bit-equal.
+func hermitianScatterConjProduct(z, spec, g []complex128, t *tables) {
+	h := t.n
+	rot := t.rotation()
+	rev := t.rev
+	a0, ah := real(spec[0]*g[0]), real(spec[h]*g[h])
+	z[0] = complex(a0+ah, a0-ah)
+	for k := 1; k < h-k; k++ {
+		vk := spec[k] * g[k]
+		vm := spec[h-k] * g[h-k]
+		p, q := real(vk), -imag(vk)
+		s, u := real(vm), -imag(vm)
+		rr, ri := real(rot[k]), imag(rot[k])
+		dp := p - s
+		sq := q + u
+		A := rr * dp
+		B := ri * sq
+		C := ri * dp
+		D := rr * sq
+		ps := p + s
+		z[rev[k]] = complex(ps+2*(A+B), (u-q)+2*(C-D))
+		z[rev[h-k]] = complex(ps-2*(A+B), (q-u)+2*(C-D))
+	}
+	if h >= 2 {
+		vm := spec[h/2] * g[h/2]
+		z[rev[h/2]] = complex(2*real(vm), 2*(-imag(vm)))
+	}
+}
+
+// hermitianKernel runs the unnormalized half-length inverse-kernel FFT over
+// the pre-scattered z and unpacks the interleaved result into out
+// (out[2j] = Re z[j], out[2j+1] = Im z[j]). This path is not bit-pinned to
+// the complex transform, so it takes the liberties the golden-traced path
+// cannot: the length-2 and length-4 stages fuse into one pass with exact
+// ±i twiddles, and later stages run as fused radix-2² double stages that
+// touch each element once per two stages. Stages whose blocks fit in a cache
+// tile run tile by tile (one memory pass for all of them); the remaining
+// large stages continue the same radix-2² progression globally — a pure
+// reordering of independent butterflies, so tiling never changes bits.
+func hermitianKernel(out []float64, z []complex128, t *tables) {
+	h := t.n
 	if h >= 4 {
-		for s := 0; s < h; s += 4 {
-			b0, b1, b2, b3 := z[s], z[s+1], z[s+2], z[s+3]
-			t0, t1 := b0+b1, b0-b1
-			t2, t3 := b2+b3, b2-b3
-			it3 := complex(-imag(t3), real(t3)) // t3 *= +i (inverse kernel)
-			z[s], z[s+2] = t0+t2, t0-t2
-			z[s+1], z[s+3] = t1+it3, t1-it3
+		tile := h
+		if tile > stageTile {
+			tile = stageTile
 		}
+		odd := (log2(h)-2)%2 == 1
+		q := 0
+		for lo := 0; lo < h; lo += tile {
+			q = hermitianTileStages(z[lo:lo+tile], t, odd)
+		}
+		hermitianDoubleStages(z[:h], t, q, h)
 	} else if h >= 2 {
 		for s := 0; s < h; s += 2 {
 			u, v := z[s], z[s+1]
 			z[s], z[s+1] = u+v, u-v
 		}
 	}
-	// Remaining stages, fused in radix-2² pairs: stage q and stage 2q are
-	// combined using w_{4q}^{q+k} = i·w_{4q}^k, so each element is loaded and
-	// stored once per two stages. When the stage count is odd, one plain
-	// radix-2 stage at q=4 restores parity.
-	tw := t.inv
+	n := len(out)
+	for j := 0; 2*j < n; j++ {
+		v := z[j]
+		out[2*j] = real(v)
+		if 2*j+1 < n {
+			out[2*j+1] = imag(v)
+		}
+	}
+}
+
+// hermitianTileStages runs every inverse-kernel stage whose butterfly blocks
+// fit within one tile z (len(z) >= 4, a power of two): the fused length-2 +
+// length-4 first pass, the parity stage when the total stage count of the
+// full transform is odd, then radix-2² double stages up to the tile size. It
+// returns the half-length the radix-2² progression reached, for
+// hermitianDoubleStages to continue globally.
+func hermitianTileStages(z []complex128, t *tables, odd bool) int {
+	tile := len(z)
+	for s := 0; s < tile; s += 4 {
+		b0, b1, b2, b3 := z[s], z[s+1], z[s+2], z[s+3]
+		t0, t1 := b0+b1, b0-b1
+		t2, t3 := b2+b3, b2-b3
+		it3 := complex(-imag(t3), real(t3)) // t3 *= +i (inverse kernel)
+		z[s], z[s+2] = t0+t2, t0-t2
+		z[s+1], z[s+3] = t1+it3, t1-it3
+	}
 	q := 4
-	if stages := log2(h) - 2; stages > 0 && stages%2 == 1 {
-		stage := tw[q-1 : 2*q-1]
-		for start := 0; start < h; start += 2 * q {
+	if odd && q < tile {
+		// One plain radix-2 stage restores parity for the double stages.
+		stage := t.invStages[2]
+		for start := 0; start < tile; start += 2 * q {
 			xa := z[start : start+q : start+q]
 			xb := z[start+q : start+2*q : start+2*q]
 			for k, w := range stage {
@@ -190,10 +494,21 @@ func hermitianReal(out []float64, a, z []complex128, t *tables) {
 		}
 		q <<= 1
 	}
-	for ; 4*q <= h; q <<= 2 {
+	return hermitianDoubleStages(z, t, q, tile)
+}
+
+// hermitianDoubleStages runs fused radix-2² double stages over z, starting
+// at half-length q and stopping once a double stage would span more than
+// limit elements. Stage q and stage 2q combine using w_{4q}^{q+k} = i·w_{4q}^k,
+// so each element is loaded and stored once per two stages. It returns the
+// half-length reached.
+func hermitianDoubleStages(z []complex128, t *tables, q, limit int) int {
+	tw := t.inv
+	n := len(z)
+	for ; 4*q <= limit; q <<= 2 {
 		u := tw[q-1 : 2*q-1]   // stage q twiddles (length-2q kernel)
 		w := tw[2*q-1 : 3*q-1] // stage 2q twiddles, first q entries
-		for start := 0; start < h; start += 4 * q {
+		for start := 0; start < n; start += 4 * q {
 			x0 := z[start : start+q : start+q]
 			x1 := z[start+q : start+2*q : start+2*q]
 			x2 := z[start+2*q : start+3*q : start+3*q]
@@ -215,15 +530,7 @@ func hermitianReal(out []float64, a, z []complex128, t *tables) {
 			}
 		}
 	}
-	// Unpack: out[2j] = Re z[j], out[2j+1] = Im z[j].
-	n := len(out)
-	for j := 0; 2*j < n; j++ {
-		v := z[j]
-		out[2*j] = real(v)
-		if 2*j+1 < n {
-			out[2*j+1] = imag(v)
-		}
-	}
+	return q
 }
 
 // log2 returns floor(log2(n)) for n >= 1.
@@ -238,11 +545,11 @@ func log2(n int) int {
 
 // AutocovarianceKnownMeanInto is the zero-allocation counterpart of
 // AutocovarianceKnownMean: it computes the biased autocovariance of x at lags
-// 0..len(dst)-1 (clamped to len(x)-1) into dst, using the packed real-input
-// FFT pipeline (two half-length transforms instead of two full complex ones)
-// and the scratch buffers in s. It returns the filled prefix of dst. Results
-// agree with AutocovarianceKnownMean to floating-point rounding, not
-// bit-exactly — callers that pin bits must keep using the complex path.
+// 0..len(dst)-1 (clamped to len(x)-1) into dst, using the fused packed
+// real-input FFT pipeline (two half-length transforms instead of two full
+// complex ones) and the scratch buffers in s. It returns the filled prefix of
+// dst. Results agree with AutocovarianceKnownMean to floating-point rounding,
+// not bit-exactly — callers that pin bits must keep using the complex path.
 func AutocovarianceKnownMeanInto(dst []float64, x []float64, mean float64, s *Scratch) []float64 {
 	n := len(x)
 	if n == 0 || len(dst) == 0 {
@@ -255,27 +562,16 @@ func AutocovarianceKnownMeanInto(dst []float64, x []float64, mean float64, s *Sc
 	m := NextPowerOfTwo(2 * n)
 	h := m / 2
 	a, z := s.buffers(h)
-	j := 0
-	for ; 2*j+1 < n; j++ {
-		a[j] = complex(x[2*j]-mean, x[2*j+1]-mean)
-	}
-	if 2*j < n {
-		a[j] = complex(x[2*j]-mean, 0)
-		j++
-	}
-	for ; j < h; j++ {
-		a[j] = 0
-	}
 	t := tablesFor(h)
-	t.apply(a[:h], t.fwd)
-	realUnpack(a, t)
+	realForwardPadded(a, x, mean, t)
 	for k := 0; k <= h; k++ {
 		re, im := real(a[k]), imag(a[k])
 		a[k] = complex(re*re+im*im, 0)
 	}
 	out := dst[:maxLag+1]
-	hermitianReal(out, a, z, t)
-	// hermitianReal is unnormalized (a factor of m versus the inverse DFT);
+	hermitianScatter(z, a, t)
+	hermitianKernel(out, z, t)
+	// hermitianKernel is unnormalized (a factor of m versus the inverse DFT);
 	// fold that and the biased-estimator 1/n into one scale.
 	inv := 1 / (float64(m) * float64(n))
 	for k := range out {

@@ -1,6 +1,7 @@
 package fft
 
 import (
+	"encoding/binary"
 	"math"
 	"testing"
 
@@ -11,7 +12,14 @@ import (
 // Forward on random inputs across every power-of-two size from 2 to 2^16.
 func TestRealForwardParity(t *testing.T) {
 	r := rng.New(101)
-	for m := 2; m <= 1<<16; m <<= 1 {
+	// 2^17 samples means a half-length of 2^16, which crosses the stageTile
+	// boundary with global middle stages between the tiled stages and the
+	// fused final stage.
+	max := 1 << 17
+	if testing.Short() {
+		max = 1 << 13
+	}
+	for m := 2; m <= max; m <<= 1 {
 		x := make([]float64, m)
 		for i := range x {
 			x[i] = r.Norm()
@@ -47,7 +55,13 @@ func cAbs(c complex128) float64 {
 // extension.
 func TestHermitianRealParity(t *testing.T) {
 	r := rng.New(55)
-	for h := 1; h <= 1<<12; h <<= 1 {
+	// h = 2^16 crosses the stageTile boundary: tiled first passes plus global
+	// radix-2² double stages.
+	max := 1 << 16
+	if testing.Short() {
+		max = 1 << 12
+	}
+	for h := 1; h <= max; h <<= 1 {
 		m := 2 * h
 		a := make([]complex128, h+1)
 		a[0] = complex(r.Norm(), 0)
@@ -135,6 +149,217 @@ func TestAutocovarianceIntoMatches(t *testing.T) {
 			}
 		}
 	}
+}
+
+// sameBits reports whether two complex values are bitwise identical.
+func sameBits(a, b complex128) bool {
+	return math.Float64bits(real(a)) == math.Float64bits(real(b)) &&
+		math.Float64bits(imag(a)) == math.Float64bits(imag(b))
+}
+
+// TestRealForwardBitIdentical pins the fused RealForward to the unfused
+// three-pass reference bit-for-bit at every power-of-two size through the
+// tile boundary: the fused pack/scatter/first-stage and final-stage/unpack
+// kernels must not change a single ulp.
+func TestRealForwardBitIdentical(t *testing.T) {
+	r := rng.New(311)
+	max := 1 << 17
+	if testing.Short() {
+		max = 1 << 13
+	}
+	for m := 1; m <= max; m <<= 1 {
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = r.Norm()
+		}
+		h := m / 2
+		got := make([]complex128, h+1)
+		want := make([]complex128, h+1)
+		if err := RealForward(got, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := RealForwardReference(want, x); err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if !sameBits(got[k], want[k]) {
+				t.Fatalf("m=%d: RealForward[%d] = %v, reference = %v (not bit-identical)", m, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestHermitianRealScaledBitIdentical checks that folding the per-bin weights
+// into the synthesis kernel's first pass yields exactly the bits that scaling
+// the spectrum first would: the fused multiply w[k]·a[k] is the same multiply
+// a pre-scaling pass performs.
+func TestHermitianRealScaledBitIdentical(t *testing.T) {
+	r := rng.New(313)
+	max := 1 << 16
+	if testing.Short() {
+		max = 1 << 12
+	}
+	for h := 1; h <= max; h <<= 2 {
+		a := make([]complex128, h+1)
+		w := make([]float64, h+1)
+		a[0] = complex(r.Norm(), 0)
+		a[h] = complex(r.Norm(), 0)
+		for k := 1; k < h; k++ {
+			a[k] = complex(r.Norm(), r.Norm())
+		}
+		for k := range w {
+			w[k] = math.Abs(r.Norm()) + 0.1
+		}
+		scaled := make([]complex128, h+1)
+		for k := range a {
+			scaled[k] = complex(w[k]*real(a[k]), w[k]*imag(a[k]))
+		}
+		z := make([]complex128, h)
+		want := make([]float64, 2*h)
+		if err := HermitianReal(want, scaled, z); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, 2*h)
+		if err := HermitianRealScaled(got, a, w, z); err != nil {
+			t.Fatal(err)
+		}
+		for p := range want {
+			if math.Float64bits(got[p]) != math.Float64bits(want[p]) {
+				t.Fatalf("h=%d: HermitianRealScaled[%d] = %v, pre-scaled = %v (not bit-identical)", h, p, got[p], want[p])
+			}
+		}
+	}
+}
+
+// TestHermitianRealConjProductBitIdentical checks the fused conjugated
+// product spectrum (the streamblock stitch) against materializing
+// conj(s[k]·g[k]) first, bit-for-bit.
+func TestHermitianRealConjProductBitIdentical(t *testing.T) {
+	r := rng.New(317)
+	max := 1 << 16
+	if testing.Short() {
+		max = 1 << 12
+	}
+	for h := 1; h <= max; h <<= 2 {
+		s := make([]complex128, h+1)
+		g := make([]complex128, h+1)
+		for k := range s {
+			s[k] = complex(r.Norm(), r.Norm())
+			g[k] = complex(r.Norm(), r.Norm())
+		}
+		prod := make([]complex128, h+1)
+		for k := range s {
+			v := s[k] * g[k]
+			prod[k] = complex(real(v), -imag(v))
+		}
+		z := make([]complex128, h)
+		want := make([]float64, 2*h)
+		if err := HermitianReal(want, prod, z); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, 2*h)
+		if err := HermitianRealConjProduct(got, s, g, z); err != nil {
+			t.Fatal(err)
+		}
+		for p := range want {
+			if math.Float64bits(got[p]) != math.Float64bits(want[p]) {
+				t.Fatalf("h=%d: HermitianRealConjProduct[%d] = %v, materialized = %v (not bit-identical)", h, p, got[p], want[p])
+			}
+		}
+	}
+}
+
+func TestHermitianRealVariantErrors(t *testing.T) {
+	out := make([]float64, 4)
+	a := make([]complex128, 3)
+	z := make([]complex128, 2)
+	if err := HermitianRealScaled(out, a, make([]float64, 2), z); err != ErrBadLength {
+		t.Fatalf("short weights: got %v", err)
+	}
+	if err := HermitianRealScaled(out, make([]complex128, 4), make([]float64, 4), z); err != ErrNotPowerOfTwo {
+		t.Fatalf("non-power-of-two half length: got %v", err)
+	}
+	if err := HermitianRealConjProduct(out, a, make([]complex128, 2), z); err != ErrBadLength {
+		t.Fatalf("short second spectrum: got %v", err)
+	}
+	if err := HermitianRealConjProduct(out, a, a, make([]complex128, 1)); err != ErrBadLength {
+		t.Fatalf("short scratch: got %v", err)
+	}
+}
+
+// TestScratchMixedSizes reuses one Scratch across interleaved transform
+// sizes, checking each result is bitwise the result a fresh Scratch
+// produces: buffer growth and stale contents from another size must not
+// leak into the output.
+func TestScratchMixedSizes(t *testing.T) {
+	r := rng.New(29)
+	var shared Scratch
+	sizes := []int{64, 4096, 3, 1000, 64, 1, 511, 4096, 2}
+	for _, n := range sizes {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Norm()
+		}
+		dst := make([]float64, n)
+		got := AutocovarianceKnownMeanInto(dst, x, 0.1, &shared)
+		var fresh Scratch
+		want := AutocovarianceKnownMeanInto(make([]float64, n), x, 0.1, &fresh)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: len %d, want %d", n, len(got), len(want))
+		}
+		for k := range got {
+			if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+				t.Fatalf("n=%d lag=%d: shared scratch %v, fresh scratch %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// FuzzRealForwardVsReference feeds arbitrary sample bytes through the fused
+// RealForward and the unfused reference, requiring bit-identical spectra.
+func FuzzRealForwardVsReference(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 16))
+	seed := make([]byte, 0, 64*8)
+	r := rng.New(97)
+	for i := 0; i < 64; i++ {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(r.Norm()))
+		seed = append(seed, b[:]...)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 8
+		if n == 0 {
+			return
+		}
+		m := 1
+		for 2*m <= n && 2*m <= 1<<12 {
+			m <<= 1
+		}
+		x := make([]float64, m)
+		for i := range x {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = float64(i) // keep comparisons meaningful; NaN != NaN bitwise is fine either way
+			}
+			x[i] = v
+		}
+		h := m / 2
+		got := make([]complex128, h+1)
+		want := make([]complex128, h+1)
+		if err := RealForward(got, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := RealForwardReference(want, x); err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if !sameBits(got[k], want[k]) {
+				t.Fatalf("m=%d: fused[%d] = %v, reference = %v (not bit-identical)", m, k, got[k], want[k])
+			}
+		}
+	})
 }
 
 // TestRealPathZeroAlloc locks in the zero-steady-state-allocation contract of

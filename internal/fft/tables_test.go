@@ -20,7 +20,13 @@ func randComplex(r *rng.Source, n int) []complex128 {
 // through Forward, so the twiddle cache must not change a single ulp.
 func TestForwardMatchesReference(t *testing.T) {
 	r := rng.New(7)
-	for n := 1; n <= 1<<13; n <<= 1 {
+	// 2^16 complex crosses the stageTile boundary, exercising the tiled small
+	// stages plus the global large stages of apply.
+	max := 1 << 16
+	if testing.Short() {
+		max = 1 << 13
+	}
+	for n := 1; n <= max; n <<= 1 {
 		x := randComplex(r, n)
 		want := append([]complex128(nil), x...)
 		if err := ForwardReference(want); err != nil {

@@ -78,6 +78,51 @@ func For(workers, n int, fn func(worker, i int)) {
 	wg.Wait()
 }
 
+// ForChunks runs fn(worker, lo, hi) once per worker slot, where [lo, hi) is
+// the contiguous chunk of [0, n) that slot owns — the same chunking For
+// computes, exposed as whole ranges. The worker→range mapping depends only
+// on (workers, n), so repeated calls with the same arguments hand every
+// index to the same worker slot: callers that key per-worker state (scratch
+// arenas, cache-warm session runs) get stable affinity across rounds, and a
+// worker walks one contiguous run of jobs instead of striped indices. As
+// with For, per-job state must be indexed by job index, never by worker, so
+// results are bit-identical for any worker count. With workers <= 1 the
+// whole range runs inline on the calling goroutine with no allocations.
+func ForChunks(workers, n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if observer.Load() != nil {
+		notifyObserver(instrumentedForChunks(workers, n, fn))
+		return
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
 // ForCtx is For with cancellation and error propagation: each worker checks
 // ctx between jobs and stops its chunk on the first error. ForCtx returns the
 // error of the lowest-indexed failing job (deterministic regardless of worker

@@ -44,6 +44,66 @@ func TestForCoversEveryIndexOnce(t *testing.T) {
 	}
 }
 
+// TestForChunksCoversRangeOnce checks the chunk ranges tile [0, n) exactly
+// once for a range of worker counts, and that they match For's chunking —
+// the sticky-affinity contract is that the same (workers, n) always hands
+// the same indices to the same worker slot.
+func TestForChunksCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		const n = 53
+		var counts [n]int32
+		owner := make([]int32, n)
+		for i := range owner {
+			owner[i] = -1
+		}
+		ForChunks(workers, n, func(worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+				atomic.StoreInt32(&owner[i], int32(worker))
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+		// Same mapping as For: worker w owns [w*chunk, (w+1)*chunk).
+		w := workers
+		if w > n {
+			w = n
+		}
+		chunk := (n + w - 1) / w
+		for i := range owner {
+			if want := int32(i / chunk); owner[i] != want {
+				t.Fatalf("workers=%d: index %d ran on worker %d, want %d", workers, i, owner[i], want)
+			}
+		}
+		// Repeat runs hand every index to the same slot (sticky affinity).
+		ForChunks(workers, n, func(worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if owner[i] != int32(worker) {
+					t.Errorf("workers=%d: index %d moved from worker %d to %d", workers, i, owner[i], worker)
+				}
+			}
+		})
+	}
+}
+
+func TestForChunksInlineZeroAlloc(t *testing.T) {
+	sink := 0
+	fn := func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sink += i
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		ForChunks(1, 100, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("inline ForChunks allocates %v/op, want 0", allocs)
+	}
+}
+
 func TestForInlineZeroAlloc(t *testing.T) {
 	sink := 0
 	fn := func(worker, i int) { sink += i }

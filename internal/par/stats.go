@@ -115,6 +115,53 @@ func instrumentedFor(workers, n int, fn func(worker, i int)) RunStats {
 	return st
 }
 
+// instrumentedForChunks is ForChunks with stats collection. Chunking and
+// the worker-slot-to-range mapping are identical to ForChunks; only clock
+// reads and an in-flight counter are added.
+func instrumentedForChunks(workers, n int, fn func(worker, lo, hi int)) RunStats {
+	st := RunStats{Runs: 1, Workers: workers, Tasks: n, Busy: make([]time.Duration, workers)}
+	start := time.Now()
+	if workers <= 1 {
+		fn(0, 0, n)
+		st.Busy[0] = time.Since(start)
+		st.PeakInFlight = 1
+		st.Wall = st.Busy[0]
+		return st
+	}
+	var inFlight, peak atomic.Int64
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			t0 := time.Now()
+			fn(w, lo, hi)
+			st.Busy[w] = time.Since(t0)
+			inFlight.Add(-1)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	st.PeakInFlight = int(peak.Load())
+	st.Wall = time.Since(start)
+	return st
+}
+
 // instrumentedForCtx mirrors ForCtx's cancellation and lowest-index error
 // semantics with stats collection.
 func instrumentedForCtx(ctx context.Context, workers, n int, fn func(worker, i int) error) (RunStats, error) {

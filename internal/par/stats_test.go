@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 )
 
@@ -118,6 +119,42 @@ func TestObserverReceivesRunStats(t *testing.T) {
 	}
 	if runs[1].Workers != 2 {
 		t.Fatalf("second run stats = %+v", runs[1])
+	}
+}
+
+// TestObserverForChunks checks the instrumented ForChunks path keeps the
+// exact chunking of the plain path (every index once, same owner slots)
+// while reporting the run to the observer.
+func TestObserverForChunks(t *testing.T) {
+	const n = 53
+	const workers = 4
+	plain := make([]int32, n)
+	ForChunks(workers, n, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.StoreInt32(&plain[i], int32(worker))
+		}
+	})
+
+	var runs []RunStats
+	SetObserver(func(st RunStats) { runs = append(runs, st) })
+	defer SetObserver(nil)
+
+	var counts [n]int32
+	ForChunks(workers, n, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&counts[i], 1)
+			if plain[i] != int32(worker) {
+				t.Errorf("index %d: instrumented owner %d, plain owner %d", i, worker, plain[i])
+			}
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times under the observer", i, c)
+		}
+	}
+	if len(runs) != 1 || runs[0].Tasks != n || runs[0].Workers != workers {
+		t.Fatalf("observer runs = %+v", runs)
 	}
 }
 

@@ -65,6 +65,13 @@ type Options struct {
 	// JobWorkers is the job worker-pool size. Default GOMAXPROCS, capped
 	// at 4 so jobs (which parallelize internally) cannot starve streams.
 	JobWorkers int
+	// StepWorkers is the fan-out width of batched session stepping
+	// (POST /v1/streams/step). Default GOMAXPROCS. Sessions are assigned to
+	// workers in sticky contiguous chunks of the request's ID list, so a
+	// driver that steps the same fleet repeatedly keeps each session's
+	// arena warm in one worker's cache; the value is primarily a test knob
+	// (results are bit-identical for any width).
+	StepWorkers int
 	// JobQueueDepth bounds queued-but-unstarted jobs; submissions beyond
 	// it get 429. Default 64.
 	JobQueueDepth int
@@ -107,6 +114,9 @@ func (o *Options) fill() {
 		if o.JobWorkers > 4 {
 			o.JobWorkers = 4
 		}
+	}
+	if o.StepWorkers <= 0 {
+		o.StepWorkers = runtime.GOMAXPROCS(0)
 	}
 	if o.JobQueueDepth <= 0 {
 		o.JobQueueDepth = 64

@@ -5,16 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"runtime"
 
 	"vbrsim/internal/par"
 )
-
-// stepBatch is the fan-out width of batched session stepping: sessions
-// advance in groups of this size through the shared worker pool, so a
-// simulation driver holding hundreds of sessions pays one request (and one
-// pool warm-up) per batch instead of one round trip per session.
-const stepBatch = 32
 
 // maxStepFrames bounds the per-session frame count of one step request
 // (the work runs lock-held per session, like a frames read).
@@ -51,11 +44,16 @@ type StepResult struct {
 
 // handleStreamStep advances many sessions at once: the batched-stepping
 // entry point for simulation drivers. Validation is atomic — every listed
-// session must exist before any session moves — and each batch of
-// stepBatch sessions advances in parallel through the par pool, each
-// session under its own lock. Determinism is per session: a session's
-// frames depend only on its spec, seed, and cumulative position, never on
-// batch composition or worker scheduling.
+// session must exist before any session moves — then the whole fleet fans
+// out across StepWorkers via par.ForChunks: each worker owns one sticky
+// contiguous run of the request's ID list, each session advancing under
+// its own lock. The worker→range mapping depends only on (workers, fleet
+// size), so a driver stepping the same fleet every round lands each
+// session on the same worker, keeping its synthesis arena warm in that
+// worker's cache instead of bouncing between cores. Determinism is per
+// session: a session's frames depend only on its spec, seed, and
+// cumulative position, never on fleet composition, worker count, or
+// scheduling.
 func (s *Server) handleStreamStep(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
 	var req StepRequest
@@ -92,23 +90,15 @@ func (s *Server) handleStreamStep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	results := make([]StepResult, len(sessions))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > stepBatch {
-		workers = stepBatch
-	}
-	for base := 0; base < len(sessions); base += stepBatch {
-		batch := sessions[base:]
-		if len(batch) > stepBatch {
-			batch = batch[:stepBatch]
-		}
-		bres := results[base : base+len(batch)]
-		par.For(par.Workers(workers, len(batch)), len(batch), func(_, i int) {
-			ss := batch[i]
+	workers := par.Workers(s.opt.StepWorkers, len(sessions))
+	par.ForChunks(workers, len(sessions), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ss := sessions[i]
 			ss.mu.Lock()
 			if ss.closed {
 				ss.mu.Unlock()
-				bres[i] = StepResult{ID: ss.id, Start: -1, Pos: -1, Gone: true}
-				return
+				results[i] = StepResult{ID: ss.id, Start: -1, Pos: -1, Gone: true}
+				continue
 			}
 			res := StepResult{ID: ss.id, Start: ss.stream.Pos()}
 			if req.IncludeFrames {
@@ -128,15 +118,15 @@ func (s *Server) handleStreamStep(w http.ResponseWriter, r *http.Request) {
 			res.Pos = ss.stream.Pos()
 			ss.served += uint64(req.N)
 			ss.mu.Unlock()
-			bres[i] = res
-		})
-		advanced := 0
-		for i := range bres {
-			if !bres[i].Gone {
-				advanced++
-			}
+			results[i] = res
 		}
-		s.metrics.framesStreamed.Add(float64(advanced * req.N))
+	})
+	advanced := 0
+	for i := range results {
+		if !results[i].Gone {
+			advanced++
+		}
 	}
+	s.metrics.framesStreamed.Add(float64(advanced * req.N))
 	writeJSON(w, http.StatusOK, results)
 }

@@ -149,6 +149,72 @@ func TestStreamStepIncludeFrames(t *testing.T) {
 	}
 }
 
+// TestStreamStepWorkerCountInvariance pins the fan-out contract of the
+// sticky-chunk rewrite: the step response — positions and returned frames,
+// bit for bit — is identical whatever StepWorkers is, because results are
+// keyed by request index and each session's frames depend only on its own
+// spec, seed, and cumulative position. The fleet size (11) is chosen to
+// not divide evenly into any tested worker count, exercising the ragged
+// final chunk.
+func TestStreamStepWorkerCountInvariance(t *testing.T) {
+	const fleet = 11
+	const stepN = 192
+	type round struct {
+		include bool
+		n       int
+	}
+	rounds := []round{{false, stepN}, {true, 64}, {true, 96}}
+
+	run := func(workers int) [][]StepResult {
+		_, ts := newTestServer(t, Options{StepWorkers: workers})
+		var ids []string
+		for i := 0; i < fleet; i++ {
+			spec := blockPaperSpec(uint64(9000 + i))
+			if i%3 == 1 {
+				spec = paperSpec(uint64(9000 + i))
+			}
+			ids = append(ids, createStream(t, ts.URL, spec).ID)
+		}
+		var out [][]StepResult
+		for _, rd := range rounds {
+			resp := postJSON(t, ts.URL+"/v1/streams/step",
+				StepRequest{IDs: ids, N: rd.n, IncludeFrames: rd.include})
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				t.Fatalf("step with %d workers: %d %s", workers, resp.StatusCode, body)
+			}
+			out = append(out, decodeJSON[[]StepResult](t, resp))
+		}
+		return out
+	}
+
+	want := run(1)
+	for _, workers := range []int{3, 16} {
+		got := run(workers)
+		for r := range want {
+			if len(got[r]) != len(want[r]) {
+				t.Fatalf("workers=%d round %d: %d results, want %d", workers, r, len(got[r]), len(want[r]))
+			}
+			for i := range want[r] {
+				g, w := got[r][i], want[r][i]
+				if g.ID != w.ID || g.Start != w.Start || g.Pos != w.Pos || g.Gone != w.Gone {
+					t.Fatalf("workers=%d round %d result %d: %+v, want %+v", workers, r, i, g, w)
+				}
+				if len(g.Frames) != len(w.Frames) {
+					t.Fatalf("workers=%d round %d result %d: %d frames, want %d", workers, r, i, len(g.Frames), len(w.Frames))
+				}
+				for j := range w.Frames {
+					if math.Float64bits(g.Frames[j]) != math.Float64bits(w.Frames[j]) {
+						t.Fatalf("workers=%d round %d session %d frame %d: %v, want %v",
+							workers, r, i, j, g.Frames[j], w.Frames[j])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestStreamStepValidation exercises the endpoint's rejection paths:
 // atomic unknown-id failure (no session moves), bad n, empty batch, and
 // the tighter frame-returning bound.

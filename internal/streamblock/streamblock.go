@@ -304,17 +304,15 @@ func (s *Stream) stitch() {
 	if err := fft.RealForward(s.spec, pad); err != nil {
 		panic("streamblock: internal FFT error: " + err.Error())
 	}
-	for k := range s.spec {
-		v := s.spec[k] * e.psiSpec[k]
-		// HermitianReal computes the FORWARD transform of the Hermitian
-		// extension; on the conjugated product that equals F times the
-		// inverse DFT of the product — i.e. the circular convolution r*psi,
-		// unnormalized. (For the real-even autocovariance spectrum forward
-		// and inverse coincide, which is why that caller skips the conj.)
-		s.spec[k] = complex(real(v), -imag(v))
-	}
+	// HermitianReal computes the FORWARD transform of the Hermitian
+	// extension; on the conjugated product conj(spec·psiSpec) that equals F
+	// times the inverse DFT of the product — i.e. the circular convolution
+	// r*psi, unnormalized. (For the real-even autocovariance spectrum forward
+	// and inverse coincide, which is why that caller skips the conj.) The
+	// product and conjugation run fused inside the synthesis kernel's first
+	// pass, bit-identical to materializing the conjugated product spectrum.
 	// Only the prefix p+C is unpacked; the correction is d[p..p+C).
-	if err := fft.HermitianReal(s.d, s.spec, s.zs); err != nil {
+	if err := fft.HermitianRealConjProduct(s.d, s.spec, e.psiSpec, s.zs); err != nil {
 		panic("streamblock: internal FFT error: " + err.Error())
 	}
 	out := s.raw[p : p+e.horizon]

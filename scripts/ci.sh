@@ -52,14 +52,15 @@ done
 
 echo "== benchdiff gate"
 # Regression gate over a small, stable benchmark subset: re-measure the
-# DH kernel, the streaming-ladder headline rungs, and the serial trunk
-# fan-out rung (also the zero-steady-state-alloc gate) and diff against
-# the committed BENCH_5.json. The 25% threshold is generous — it absorbs
+# DH kernel, the fused inverse FFT kernel, the streaming-ladder headline
+# rungs, the sticky-chunk step fan-out, and the serial trunk fan-out rung
+# (also the zero-steady-state-alloc gate) and diff against the committed
+# BENCH_7.json. The 25% threshold is generous — it absorbs
 # machine-to-machine and run-to-run noise while catching order-of-magnitude
 # regressions (a lost fast path, an accidental allocation in a refill).
 go run ./cmd/bench -benchtime 300ms \
-    -only 'DHPathRealInto|StreamTruncatedFill/n=16384|StreamBlockFill/n=16384|StreamBlockRefill|TrunkFillSerial' \
-    -compare BENCH_5.json -threshold 0.25
+    -only 'DHPathRealInto|FFTHermitianReal|StreamTruncatedFill/n=16384|StreamBlockFill/n=16384|StreamBlockRefill|StreamStepAffinity|TrunkFillSerial' \
+    -compare BENCH_7.json -threshold 0.25
 
 echo "== capacity ramp smoke"
 # Serving-capacity gate: ramp a 1k-session in-process fleet through the
@@ -81,6 +82,9 @@ go test ./internal/modelspec -run '^$' -fuzz 'FuzzQuantileRoundTrip' -fuzztime=5
 # The binary frame protocol decoder must never panic and must classify
 # every malformed input as truncated or oversized, nothing else.
 go test ./internal/server -run '^$' -fuzz 'FuzzBinaryFrameDecode' -fuzztime=5s
+# The fused real-FFT forward kernel must stay bit-identical to the
+# unfused reference on arbitrary inputs.
+go test ./internal/fft -run '^$' -fuzz 'FuzzRealForwardVsReference' -fuzztime=5s
 
 echo "== trafficd smoke test"
 # Start the daemon on an ephemeral port, hit /healthz and a 100-frame
