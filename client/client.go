@@ -189,6 +189,25 @@ func (c *Client) Frames(ctx context.Context, id string, from, n int) ([]float64,
 	return out, nil
 }
 
+// SessionStats returns the session's live statistical self-monitoring
+// summary (GET /v1/sessions/{id}/stats): online Hurst estimate, lag
+// autocorrelations vs the model-implied reference, marginal quantiles, and
+// the drift score. Stats is nil when the daemon runs with statmon disabled.
+func (c *Client) SessionStats(ctx context.Context, id string) (server.SessionStats, error) {
+	var stats server.SessionStats
+	err := c.doJSON(ctx, "GET", "/v1/sessions/"+id+"/stats", nil, &stats)
+	return stats, err
+}
+
+// Status returns the daemon-level status report (GET /v1/status): uptime,
+// drain state, session counts, admission cost, and the statmon fleet
+// rollup with the ids of any drifting sessions.
+func (c *Client) Status(ctx context.Context) (server.StatusReport, error) {
+	var st server.StatusReport
+	err := c.doJSON(ctx, "GET", "/v1/status", nil, &st)
+	return st, err
+}
+
 // SubmitJob enqueues a job and returns its initial (queued) state.
 func (c *Client) SubmitJob(ctx context.Context, req server.JobRequest) (server.Job, error) {
 	var job server.Job

@@ -135,6 +135,71 @@ func TestClientStepPositionsOnly(t *testing.T) {
 	}
 }
 
+// TestClientStatusAndSessionStats drives the observability surface end to
+// end: a monitored stream stepped past statmon's minimum sample count must
+// show up in both the per-session stats call and the fleet status rollup.
+func TestClientStatusAndSessionStats(t *testing.T) {
+	s := server.New(server.Options{StatmonSampleEvery: 1})
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	// An FGN stream with a lognormal marginal: long-range dependent enough
+	// to exercise the monitor, short-memory enough that 2^17 served frames
+	// conform to the spec's own analytic reference.
+	spec := modelspec.Spec{
+		ACF:      modelspec.ACFSpec{Kind: modelspec.ACFFGN, H: 0.75},
+		Marginal: &modelspec.MarginalSpec{Kind: "lognormal", Mu: 9.6, Sigma: 0.4},
+		H:        0.75,
+		Seed:     11,
+		Engine:   modelspec.EngineBlock,
+	}
+	info, err := c.CreateStream(ctx, &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 17
+	if _, err := c.Step(ctx, []string{info.ID}, n, false); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := c.SessionStats(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ID != info.ID || !stats.Monitored || stats.Stats == nil {
+		t.Fatalf("session stats: %+v", stats)
+	}
+	if stats.Stats.Frames != n {
+		t.Fatalf("frames observed = %d, want %d", stats.Stats.Frames, n)
+	}
+	if stats.Stats.Mean <= 0 || stats.Stats.Variance <= 0 {
+		t.Fatalf("degenerate moments: %+v", stats.Stats)
+	}
+	if stats.Stats.Drifting {
+		t.Fatalf("conforming stream reported drifting: %+v", stats.Stats)
+	}
+
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions != 1 || st.Draining {
+		t.Fatalf("status: %+v", st)
+	}
+	if st.Statmon.Monitored != 1 || st.Statmon.Drifting != 0 {
+		t.Fatalf("statmon rollup: %+v", st.Statmon)
+	}
+
+	if _, err := c.SessionStats(ctx, "s404"); err == nil {
+		t.Fatal("stats for unknown session succeeded")
+	}
+}
+
 // TestClientTrunkErrors exercises the trunk error paths end to end: the
 // server's 400s surface as descriptive client errors.
 func TestClientTrunkErrors(t *testing.T) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                 # writes BENCH_7.json
+//	go run ./cmd/bench                 # writes BENCH_8.json
 //	go run ./cmd/bench -o out.json -benchtime 2s
 //	go run ./cmd/bench -only 'StreamBlockFill' -benchtime 300ms
 //	go run ./cmd/bench -only 'DHPathRealInto|StreamBlockFill' \
@@ -56,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out       = fs.String("o", "", "output JSON file (default BENCH_7.json; suppressed under -compare)")
+		out       = fs.String("o", "", "output JSON file (default BENCH_8.json; suppressed under -compare)")
 		benchtime = fs.Duration("benchtime", time.Second, "target time per benchmark")
 		only      = fs.String("only", "", "regexp selecting a benchmark subset by name")
 		compare   = fs.String("compare", "", "old report to diff against; regressions beyond -threshold fail")
@@ -136,7 +136,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *compare != "" {
 			return nil // compare runs are gates, not report refreshes
 		}
-		*out = "BENCH_7.json"
+		*out = "BENCH_8.json"
 	}
 	if err := rep.WriteFile(*out); err != nil {
 		return err

@@ -385,8 +385,12 @@ func runCapacity(ctx context.Context, f capacityFlags, stdout io.Writer) error {
 		}
 		results[cr.name] = res
 		rep.Benchmarks[cr.name] = res.entry()
-		fmt.Fprintf(stdout, "%-34s %9.0f ns/req  p50 %8v  p99 %8v  %9.0f frames/s  %8.0f frames/s/core  (ramp %v)\n",
-			cr.name, res.meanNs, res.p50.Round(time.Microsecond), res.p99.Round(time.Microsecond),
+		srvP99 := "n/a"
+		if res.serverP99OK {
+			srvP99 = res.serverP99.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(stdout, "%-34s %9.0f ns/req  p50 %8v  p99 %8v  srv-p99 %8s  %9.0f frames/s  %8.0f frames/s/core  (ramp %v)\n",
+			cr.name, res.meanNs, res.p50.Round(time.Microsecond), res.p99.Round(time.Microsecond), srvP99,
 			res.framesPerSec, res.framesPerSecPerCore(), res.rampElapsed.Round(time.Millisecond))
 	}
 
@@ -449,6 +453,11 @@ type capacityResult struct {
 	meanNs                          float64
 	p50, p99                        time.Duration
 	framesPerSec                    float64
+	// serverP99 is the p99 of vbrsim_http_request_seconds{endpoint="frames"}
+	// scraped from the server's own /metrics after the window — the
+	// server-side cross-check of the client-measured p99 above.
+	serverP99   time.Duration
+	serverP99OK bool
 }
 
 func (r capacityResult) framesPerSecPerCore() float64 {
@@ -456,7 +465,7 @@ func (r capacityResult) framesPerSecPerCore() float64 {
 }
 
 func (r capacityResult) entry() benchreport.Entry {
-	return benchreport.Entry{
+	e := benchreport.Entry{
 		NsPerOp:    r.meanNs,
 		N:          r.requests,
 		GOMAXPROCS: r.gomaxprocs,
@@ -472,6 +481,26 @@ func (r capacityResult) entry() benchreport.Entry {
 			"frames_per_sec_core": r.framesPerSecPerCore(),
 		},
 	}
+	if r.serverP99OK {
+		e.Extra["server_p99_ms"] = float64(r.serverP99) / 1e6
+	}
+	return e
+}
+
+// scrapeServerP99 reads the server's request-latency histogram off its own
+// /metrics page and returns the interpolated p99 of the frames endpoint.
+func scrapeServerP99(srv *server.Server) (time.Duration, bool) {
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	fams, err := obs.ParseExposition(rec.Body)
+	if err != nil {
+		return 0, false
+	}
+	q, ok := obs.HistogramQuantile(fams["vbrsim_http_request_seconds"], `endpoint="frames"`, 0.99)
+	if !ok {
+		return 0, false
+	}
+	return time.Duration(q * float64(time.Second)), true
 }
 
 // tesSpec is the cheapest session the server admits (cost 1 unit, no
@@ -629,6 +658,7 @@ func measureCapacity(ctx context.Context, cfg capacityConfig) (capacityResult, e
 	res.p50 = time.Duration(all[len(all)/2])
 	res.p99 = time.Duration(all[len(all)*99/100])
 	res.framesPerSec = float64(len(all)*cfg.read) / cfg.duration.Seconds()
+	res.serverP99, res.serverP99OK = scrapeServerP99(srv)
 	return res, nil
 }
 

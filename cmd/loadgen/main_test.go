@@ -100,6 +100,52 @@ func TestMeasureCapacitySmall(t *testing.T) {
 	}
 }
 
+// TestServerP99AgreesWithClient cross-checks the two p99 measurements the
+// capacity harness reports: the client-side one (wall time around each
+// ServeHTTP dispatch) and the server-side one (interpolated from the
+// vbrsim_http_request_seconds{endpoint="frames"} histogram scraped off
+// /metrics). The server estimate is quantized to its bucket grid, so exact
+// equality is impossible; instead both values must land in the same or an
+// adjacent histogram bucket — any wiring error (wrong endpoint label,
+// seconds-vs-millis confusion, scraping the wrong family) moves the server
+// value by whole buckets or kills it entirely.
+func TestServerP99AgreesWithClient(t *testing.T) {
+	res, err := measureCapacity(context.Background(), capacityConfig{
+		sessions: 8, shards: 2, workers: 4, read: 2,
+		duration: 200 * time.Millisecond,
+		seed:     43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.serverP99OK || res.serverP99 <= 0 {
+		t.Fatalf("server p99 not scraped: %+v", res)
+	}
+	e := res.entry()
+	if e.Extra["server_p99_ms"] <= 0 {
+		t.Fatalf("entry missing server_p99_ms: %+v", e)
+	}
+
+	// The request-histogram bucket bounds from internal/server metrics.go.
+	bounds := []time.Duration{
+		500 * time.Microsecond, 2 * time.Millisecond, 10 * time.Millisecond,
+		50 * time.Millisecond, 200 * time.Millisecond, time.Second, 5 * time.Second,
+	}
+	bucketOf := func(d time.Duration) int {
+		for i, ub := range bounds {
+			if d <= ub {
+				return i
+			}
+		}
+		return len(bounds)
+	}
+	cb, sb := bucketOf(res.p99), bucketOf(res.serverP99)
+	if diff := cb - sb; diff < -1 || diff > 1 {
+		t.Fatalf("client p99 %v (bucket %d) and server p99 %v (bucket %d) disagree beyond one histogram bucket",
+			res.p99, cb, res.serverP99, sb)
+	}
+}
+
 // TestMeasureStepSmall runs the batched-stepping rung at toy scale: the
 // driver must complete rounds against a block-engine fleet and produce a
 // coherent benchreport entry with the frames/sec/core extras.

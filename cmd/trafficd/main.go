@@ -8,6 +8,7 @@
 //	trafficd                      # listen on :8080
 //	trafficd -addr 127.0.0.1:0    # ephemeral port (printed on stdout)
 //	trafficd -max-sessions 256 -job-workers 2
+//	trafficd -statmon-sample 1 -access-log access.ndjson
 //
 // On SIGINT/SIGTERM the daemon drains: /healthz flips to 503, new sessions
 // and jobs are rejected, in-flight streams and queued jobs finish (bounded
@@ -58,9 +59,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		tol          = fs.Float64("tol", 0, "truncated-AR partial-correlation cutoff for session plans (0 = default 1e-3)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 		debugAddr    = fs.String("debug-addr", "", "serve pprof and /debug/vars on this extra address (empty = disabled; keep it private)")
+
+		statmonSample  = fs.Int("statmon-sample", 0, "statistical monitor sampling: observe 1 in N served chunks (0 = default 32, negative = disable statmon)")
+		driftThreshold = fs.Float64("drift-threshold", 0, "statmon drift score at which a session counts as drifting (0 = default 1.0)")
+		accessLog      = fs.String("access-log", "", "append NDJSON access log (with request ids and spans) to this file (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var accessW io.Writer
+	if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		accessW = f
 	}
 
 	// The daemon reports through the process-default registry so any
@@ -76,6 +91,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Seed:          *seed,
 		Tol:           *tol,
 		Registry:      obs.Default,
+
+		StatmonSampleEvery:    *statmonSample,
+		StatmonDriftThreshold: *driftThreshold,
+		AccessLog:             accessW,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

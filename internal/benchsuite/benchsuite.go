@@ -73,6 +73,8 @@ func Suite() []Bench {
 		{"QueueMCTelemetry/on", BenchQueueMCTelemetryOn},
 		{"DHPathTelemetry/off", BenchDHPathTelemetryOff},
 		{"DHPathTelemetry/on", BenchDHPathTelemetryOn},
+		{"StreamBlockFillStatmon/off", BenchStreamBlockFillStatmonOff},
+		{"StreamBlockFillStatmon/on", BenchStreamBlockFillStatmonOn},
 	}
 }
 

@@ -1,0 +1,108 @@
+package benchsuite
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"vbrsim/internal/modelspec"
+	"vbrsim/internal/statmon"
+)
+
+// The statmon ablation pair measures the serve-path tax of the live
+// statistical monitor: both variants stream the paper spec through the
+// block engine in trafficd-sized chunks, and the On variant additionally
+// feeds every chunk through a statmon.Monitor at the server's default
+// sampling rate with the full analytic reference attached (implied ACF,
+// target Hurst, marginal quantiles) — exactly what handleStreamFrames
+// does per chunk. The Off/On ratio is the acceptance bound in ISSUE 10:
+// statmon-on serving must stay within a few percent of statmon-off.
+
+const (
+	statmonFillLen = 16384 // frames per op, matching StreamBlockFill/n=16384
+	statmonChunk   = 1024  // trafficd serve-path chunk size (server.streamChunk)
+	statmonSample  = 32    // trafficd default Options.StatmonSampleEvery
+)
+
+type statmonFixture struct {
+	off *modelspec.Stream
+	on  *modelspec.Stream
+	mon *statmon.Monitor
+	pos int64 // absolute stream position of the On variant's tap
+}
+
+var (
+	statmonOnce sync.Once
+	statmonFix  statmonFixture
+	statmonErr  error
+)
+
+func getStatmonFixture(b *testing.B) *statmonFixture {
+	statmonOnce.Do(func() {
+		ctx := context.Background()
+		spec := modelspec.Paper()
+		spec.Seed = 2
+		spec.Engine = modelspec.EngineBlock
+		if statmonFix.off, statmonErr = spec.OpenCtx(ctx, 0); statmonErr != nil {
+			return
+		}
+		if statmonFix.on, statmonErr = spec.OpenCtx(ctx, 0); statmonErr != nil {
+			return
+		}
+		ref := statmon.Ref{
+			H:          spec.TargetHurst(),
+			AsymH:      spec.ACF.AsymptoticHurst(),
+			ImpliedACF: statmonFix.on.ImpliedACF(statmonChunk + 1),
+			Mean:       statmonFix.on.MeanRate(),
+		}
+		if marg := statmonFix.on.Marginal(); marg != nil {
+			ref.Quantile = marg.Quantile
+		}
+		statmonFix.mon = statmon.New(
+			statmon.Config{SampleEvery: statmonSample, MaxScale: statmonChunk}, ref)
+	})
+	if statmonErr != nil {
+		b.Fatal(statmonErr)
+	}
+	return &statmonFix
+}
+
+// BenchStreamBlockFillStatmonOff is the untapped baseline: 16384 paper
+// frames per op through the block engine in 1024-frame serve chunks.
+func BenchStreamBlockFillStatmonOff(b *testing.B) {
+	f := getStatmonFixture(b)
+	out := make([]float64, statmonChunk)
+	for c := 0; c < statmonFillLen/statmonChunk; c++ {
+		f.off.Fill(out) // warm arenas and FFT tables before the timer
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < statmonFillLen/statmonChunk; c++ {
+			f.off.Fill(out)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(statmonFillLen), "ns/frame")
+}
+
+// BenchStreamBlockFillStatmonOn is the identical fill with the serve-path
+// monitor tap: every chunk is offered to Observe, which samples one in
+// statmonSample chunks into the online Hurst/ACF/quantile state. The
+// allocs_per_op column doubles as the zero-alloc gate on the tap.
+func BenchStreamBlockFillStatmonOn(b *testing.B) {
+	f := getStatmonFixture(b)
+	out := make([]float64, statmonChunk)
+	for c := 0; c < statmonFillLen/statmonChunk; c++ {
+		f.on.Fill(out)
+		f.mon.Observe(f.pos, out)
+		f.pos += statmonChunk
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < statmonFillLen/statmonChunk; c++ {
+			f.on.Fill(out)
+			f.mon.Observe(f.pos, out)
+			f.pos += statmonChunk
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(statmonFillLen), "ns/frame")
+}

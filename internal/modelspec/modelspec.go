@@ -157,6 +157,29 @@ func (a ACFSpec) Model() (acf.Model, error) {
 	return nil, fmt.Errorf("modelspec: unknown acf kind %q (want %q, %q or %q)", a.Kind, ACFComposite, ACFFarima, ACFFGN)
 }
 
+// AsymptoticHurst returns the Hurst parameter the ACF family implies for
+// large aggregation scales: H for fgn, 1 - beta/2 for the composite knee
+// model (its power-law tail), d + 1/2 for farima. Returns 0 when the family
+// has no LRD tail (e.g. composite with beta = 0) or the spec is unset —
+// callers treat 0 as "unknown".
+func (a ACFSpec) AsymptoticHurst() float64 {
+	switch a.Kind {
+	case "", ACFComposite:
+		if a.Beta <= 0 || a.Beta >= 2 {
+			return 0
+		}
+		return 1 - a.Beta/2
+	case ACFFarima:
+		if a.D <= 0 || a.D >= 0.5 {
+			return 0
+		}
+		return a.D + 0.5
+	case ACFFGN:
+		return a.H
+	}
+	return 0
+}
+
 // Composite converts the spec to the acf model.
 func (a ACFSpec) Composite() acf.Composite {
 	return acf.Composite{
@@ -377,6 +400,18 @@ func Paper() Spec {
 	}
 }
 
+// TargetHurst returns the Hurst parameter the session promises to serve:
+// the fit metadata H when present (the paper's reported value), otherwise
+// whatever the generating ACF family implies asymptotically. 0 means the
+// spec makes no self-similarity claim (e.g. gop/tes engines, which carry
+// their own correlation structure).
+func (s *Spec) TargetHurst() float64 {
+	if s.H != 0 {
+		return s.H
+	}
+	return s.ACF.AsymptoticHurst()
+}
+
 // Engine names accepted by Spec.Engine.
 const (
 	// EngineTruncated is the AR(p) fast recursion with the exact transform —
@@ -499,7 +534,8 @@ type Stream struct {
 	trunc *hosking.Truncated // nil for the gop and tes engines
 	tr    transform.T
 	seed  uint64
-	mean  float64 // stationary foreground mean (bytes per frame)
+	mean  float64           // stationary foreground mean (bytes per frame)
+	marg  dist.Distribution // foreground marginal (nil for gop)
 
 	// Exactly one of gen (truncated engine), blk (block engine), gop and
 	// tes is set.
@@ -538,7 +574,7 @@ func (s *Spec) OpenCtx(ctx context.Context, tol float64) (*Stream, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Stream{seed: s.Seed, tes: g, mean: target.Mean()}, nil
+		return &Stream{seed: s.Seed, tes: g, mean: target.Mean(), marg: target}, nil
 	}
 	model, tr, err := s.Source()
 	if err != nil {
@@ -548,7 +584,7 @@ func (s *Spec) OpenCtx(ctx context.Context, tol float64) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &Stream{trunc: trunc, tr: tr, seed: s.Seed, mean: tr.Target.Mean()}
+	st := &Stream{trunc: trunc, tr: tr, seed: s.Seed, mean: tr.Target.Mean(), marg: tr.Target}
 	if s.Engine == EngineBlock {
 		eng, err := streamblock.EngineFor(model, trunc, streamblock.Config{})
 		if err != nil {
@@ -643,6 +679,31 @@ func (st *Stream) MaxACFError() float64 {
 // service-rate provisioning scales against: the marginal mean for the
 // transform engines and tes, the analytic encoder mean for gop.
 func (st *Stream) MeanRate() float64 { return st.mean }
+
+// Marginal returns the foreground marginal distribution the stream maps
+// frames through, or nil for the gop engine (whose marginal is emergent, not
+// analytic). Live monitors compare observed quantiles against it.
+func (st *Stream) Marginal() dist.Distribution { return st.marg }
+
+// ImpliedACF returns the model-implied autocorrelation of served frames at
+// lags 0..lags-1: the truncated plan's background ACF (the AR(p) extension
+// that is bit-true to what the generator actually produces, including the
+// truncation error) attenuated through the marginal transform by the paper's
+// factor a = Attenuation() — eq. 9's ρ_Y(k) ≈ a·ρ_X(k), with ρ_Y(0) = 1.
+// Engines without a Gaussian background (gop, tes) return nil: their serve-
+// path correlation has no cheap analytic form, so live monitors skip the
+// ACF and Hurst checks for them.
+func (st *Stream) ImpliedACF(lags int) []float64 {
+	if st.trunc == nil || lags <= 0 {
+		return nil
+	}
+	rho := st.trunc.ImpliedACF(lags)
+	a := st.tr.Attenuation()
+	for k := 1; k < len(rho); k++ {
+		rho[k] *= a
+	}
+	return rho
+}
 
 // Next produces the next foreground frame (bytes per frame).
 func (st *Stream) Next() float64 {

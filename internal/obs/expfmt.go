@@ -180,7 +180,11 @@ func Lint(fams map[string]*MetricFamily) []string {
 		if f.Type == "untyped" {
 			probs = append(probs, name+": missing TYPE")
 		}
-		if f.Type == "histogram" {
+		// A labeled histogram family with no children yet legitimately
+		// renders only its HELP/TYPE header (matching how empty vec
+		// families expose their names for scrape gates), so the +Inf rule
+		// applies only once samples exist.
+		if f.Type == "histogram" && len(f.Samples) > 0 {
 			hasInf := false
 			for _, s := range f.Samples {
 				if strings.HasSuffix(s.Name, "_bucket") && strings.Contains(s.Labels, `le="+Inf"`) {

@@ -359,6 +359,86 @@ func (h *Histogram) samples(string) []sampleLine {
 	return out
 }
 
+// Quantile estimates the q-quantile by linear interpolation inside the
+// owning bucket — the same estimate PromQL's histogram_quantile computes on
+// an instant vector. Observations in the +Inf bucket clamp to the highest
+// finite bound. Returns NaN when the histogram is empty or q is outside
+// [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 || q < 0 || q > 1 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	target := q * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		cum += float64(c)
+		if cum >= target && c > 0 {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			} else if h.bounds[0] < 0 {
+				lo = h.bounds[0]
+			}
+			frac := (target - (cum - float64(c))) / float64(c)
+			return lo + (h.bounds[i]-lo)*frac
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramVec is a family of fixed-bucket histograms split by a label set;
+// every child shares the same bucket bounds.
+type HistogramVec struct {
+	bounds []float64
+	v      *vec
+}
+
+// With returns the child histogram for the given label values (in the order
+// the labels were declared), creating it on first use.
+func (hv *HistogramVec) With(values ...string) *Histogram {
+	return hv.v.with(values...).(*Histogram)
+}
+
+func (hv *HistogramVec) samples(string) []sampleLine {
+	hv.v.mu.Lock()
+	defer hv.v.mu.Unlock()
+	out := make([]sampleLine, 0, (len(hv.bounds)+3)*len(hv.v.children))
+	for _, k := range hv.v.sortedKeys() {
+		h := hv.v.children[k].(*Histogram)
+		h.mu.Lock()
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			out = append(out, sampleLine{
+				suffix: "_bucket",
+				labels: mergeLE(k, formatFloat(b)),
+				value:  float64(cum),
+			})
+		}
+		cum += h.counts[len(h.bounds)]
+		out = append(out,
+			sampleLine{suffix: "_bucket", labels: mergeLE(k, "+Inf"), value: float64(cum)},
+			sampleLine{suffix: "_sum", labels: k, value: h.sum},
+			sampleLine{suffix: "_count", labels: k, value: float64(h.n)})
+		h.mu.Unlock()
+	}
+	return out
+}
+
+// mergeLE splices an le label into a rendered label block: {a="b"} becomes
+// {a="b",le="0.01"}.
+func mergeLE(labelBlock, le string) string {
+	return labelBlock[:len(labelBlock)-1] + `,le="` + le + `"}`
+}
+
 // ---------------------------------------------------------------------------
 // Registration
 
@@ -395,14 +475,39 @@ func (r *Registry) SummaryVec(name, help string, labels ...string) *SummaryVec {
 
 // Histogram returns a fixed-bucket histogram; bounds must ascend.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	bounds = checkBounds(bounds)
+	return r.register(name, help, "histogram", func() collector {
+		return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	}).(*Histogram)
+}
+
+// HistogramVec returns a histogram family split by the given labels, every
+// child sharing the same bucket bounds.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	bounds = checkBounds(bounds)
+	return r.register(name, help, "histogram", func() collector {
+		return &HistogramVec{bounds: bounds, v: newVec(labels, func() any {
+			return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+		})}
+	}).(*HistogramVec)
+}
+
+// checkBounds validates ascending bucket bounds and returns a private copy
+// with any caller-supplied trailing +Inf bound stripped: the exposition
+// renderer always appends the implicit +Inf bucket, so keeping an explicit
+// one would emit two le="+Inf" lines — a duplicate sample ParseExposition
+// rejects (found by the registry race test scraping such a histogram).
+func checkBounds(bounds []float64) []float64 {
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
 			panic("obs: histogram bounds must be strictly ascending")
 		}
 	}
-	return r.register(name, help, "histogram", func() collector {
-		return &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]uint64, len(bounds)+1)}
-	}).(*Histogram)
+	bounds = append([]float64(nil), bounds...)
+	if n := len(bounds); n > 0 && math.IsInf(bounds[n-1], 1) {
+		bounds = bounds[:n-1]
+	}
+	return bounds
 }
 
 // CounterFunc registers a counter whose value is read from fn at scrape

@@ -162,3 +162,20 @@ func TracerFrom(ctx context.Context) *Tracer {
 	t, _ := ctx.Value(tracerKey{}).(*Tracer)
 	return t
 }
+
+type requestIDKey struct{}
+
+// ContextWithRequestID attaches a request id to ctx so work spawned on the
+// request path (span events, access-log lines) can be correlated.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request id attached to ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

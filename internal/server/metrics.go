@@ -27,6 +27,17 @@ type metrics struct {
 	shardSessions    *obs.GaugeVec   // shard
 	admissionRejects *obs.CounterVec // reason=cap|budget|pressure|drain
 	evictions        *obs.Counter
+	sweepSeconds     *obs.Histogram
+	sessionsSwept    *obs.Counter
+
+	httpRequests  *obs.CounterVec   // endpoint, code
+	httpErrors    *obs.CounterVec   // endpoint
+	httpSeconds   *obs.HistogramVec // endpoint
+	httpInFlight  *obs.Gauge
+	shardRequests *obs.CounterVec // shard
+
+	frameEmitSeconds *obs.Histogram
+	statmonSampled   *obs.Counter
 
 	jobDuration  *obs.SummaryVec // kind, status=ok|failed
 	jobsFailed   *obs.CounterVec // kind
@@ -71,6 +82,29 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"reason"),
 		evictions: reg.Counter("vbrsim_server_evictions_total",
 			"Sessions closed by the idle evictor."),
+		sweepSeconds: reg.Histogram("vbrsim_server_sweep_seconds",
+			"Wall time of one idle-evictor registry sweep.",
+			[]float64{1e-5, 1e-4, 1e-3, 0.01, 0.1, 1}),
+		sessionsSwept: reg.Counter("vbrsim_server_swept_sessions_total",
+			"Sessions closed across all idle-evictor sweeps."),
+		httpRequests: reg.CounterVec("vbrsim_http_requests_total",
+			"HTTP requests served, by endpoint and status code.",
+			"endpoint", "code"),
+		httpErrors: reg.CounterVec("vbrsim_http_errors_total",
+			"HTTP requests that finished with a 5xx status, by endpoint.",
+			"endpoint"),
+		httpSeconds: reg.HistogramVec("vbrsim_http_request_seconds",
+			"HTTP request wall time, by endpoint.",
+			[]float64{0.0005, 0.002, 0.01, 0.05, 0.2, 1, 5}, "endpoint"),
+		httpInFlight: reg.Gauge("vbrsim_http_in_flight",
+			"HTTP requests currently being served."),
+		shardRequests: reg.CounterVec("vbrsim_server_shard_requests_total",
+			"Session lookups that landed on each registry shard.", "shard"),
+		frameEmitSeconds: reg.Histogram("vbrsim_server_frame_emit_seconds",
+			"Generate+encode+write+flush wall time of one streamed frame chunk.",
+			[]float64{1e-5, 1e-4, 5e-4, 0.002, 0.01, 0.05, 0.25, 1}),
+		statmonSampled: reg.Counter("vbrsim_statmon_frames_sampled_total",
+			"Frames folded into per-session statistical monitors."),
 		jobDuration: reg.SummaryVec("vbrsim_job_duration_seconds",
 			"Wall time of finished jobs by kind and status (ok|failed).",
 			"kind", "status"),

@@ -45,6 +45,20 @@ var documentedMetrics = map[string]string{
 	"vbrsim_server_admission_rejects_total":      "counter",
 	"vbrsim_server_evictions_total":              "counter",
 	"vbrsim_server_admission_cost_used":          "gauge",
+	"vbrsim_server_sweep_seconds":                "histogram",
+	"vbrsim_server_swept_sessions_total":         "counter",
+	"vbrsim_http_requests_total":                 "counter",
+	"vbrsim_http_errors_total":                   "counter",
+	"vbrsim_http_request_seconds":                "histogram",
+	"vbrsim_http_in_flight":                      "gauge",
+	"vbrsim_server_shard_requests_total":         "counter",
+	"vbrsim_server_frame_emit_seconds":           "histogram",
+	"vbrsim_statmon_frames_sampled_total":        "counter",
+	"vbrsim_statmon_hurst":                       "gauge",
+	"vbrsim_statmon_acf_err":                     "gauge",
+	"vbrsim_statmon_drift":                       "gauge",
+	"vbrsim_statmon_sessions_monitored":          "gauge",
+	"vbrsim_statmon_sessions_drifting":           "gauge",
 }
 
 // TestMetricsExpositionComplete scrapes a fresh server's /metrics through
@@ -66,6 +80,10 @@ func TestMetricsExpositionComplete(t *testing.T) {
 		Completed: 10, Total: 100, P: 1e-5, StdErr: 1e-6,
 		NormVar: 12, VarianceRatio: 8000, RepsPerSec: 500,
 	})
+	// One evictor sweep and one instrumented request, so the sweep
+	// histogram and the RED request counter carry samples.
+	s.evictIdleOnce()
+	s.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/healthz", nil))
 
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
@@ -98,6 +116,8 @@ func TestMetricsExpositionComplete(t *testing.T) {
 		`vbrsim_job_duration_seconds_sum{kind="fit",status="ok"}`:         false,
 		`vbrsim_jobs_rejected_total{kind="qsim-mc"}`:                      false,
 		`vbrsim_server_admission_rejects_total{reason="pressure"}`:        false,
+		`vbrsim_server_sweep_seconds_count`:                               false,
+		`vbrsim_http_requests_total{endpoint="healthz",code="200"}`:       false,
 	}
 	for _, f := range fams {
 		for _, smp := range f.Samples {

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"time"
+
+	"vbrsim/internal/modelspec"
+	"vbrsim/internal/obs"
+	"vbrsim/internal/statmon"
+)
+
+// monitorACFLen is how much of the model-implied ACF each monitor gets:
+// ρ(0..streamChunk), enough to cover statmon's largest dyadic fit scale
+// (which is capped at the serve-path chunk size — sampled taps are
+// contiguous only within one chunk).
+const monitorACFLen = streamChunk + 1
+
+// statmonConfig maps server options to a monitor config. The zero fields
+// fall through to statmon's documented defaults.
+func (s *Server) statmonConfig() statmon.Config {
+	return statmon.Config{
+		SampleEvery:    s.opt.StatmonSampleEvery,
+		DriftThreshold: s.opt.StatmonDriftThreshold,
+		MaxScale:       streamChunk,
+	}
+}
+
+// newStreamMonitor builds the statistical monitor for a plain stream
+// session: the reference is everything the spec claims analytically — the
+// target Hurst parameter, the ACF-implied asymptotic H, the model-implied
+// autocorrelation of served traffic, and the marginal quantile function.
+// Engines without analytic references (GOP, TES autocorrelation) get a
+// partially-filled Ref; statmon switches the corresponding checks off.
+// Returns nil when statmon is disabled (StatmonSampleEvery < 0).
+func (s *Server) newStreamMonitor(spec *modelspec.Spec, stream *modelspec.Stream) *statmon.Monitor {
+	if s.opt.StatmonSampleEvery < 0 {
+		return nil
+	}
+	ref := statmon.Ref{
+		H:          spec.TargetHurst(),
+		AsymH:      spec.ACF.AsymptoticHurst(),
+		ImpliedACF: stream.ImpliedACF(monitorACFLen),
+		Mean:       stream.MeanRate(),
+	}
+	if marg := stream.Marginal(); marg != nil {
+		ref.Quantile = marg.Quantile
+	}
+	return statmon.New(s.statmonConfig(), ref)
+}
+
+// newTrunkMonitor builds the monitor for a superposition session. The
+// aggregate's moments are not exposed analytically, so the Ref is empty:
+// the monitor tracks observed statistics (mean, variance, Hurst, ACF,
+// quantiles) for the stats endpoint but never scores drift.
+func (s *Server) newTrunkMonitor() *statmon.Monitor {
+	if s.opt.StatmonSampleEvery < 0 {
+		return nil
+	}
+	return statmon.New(s.statmonConfig(), statmon.Ref{})
+}
+
+// ---------------------------------------------------------------------------
+// Fleet rollup
+
+// statmonFleet is the fleet-level aggregate behind the vbrsim_statmon_*
+// gauges and the /v1/status report.
+type statmonFleet struct {
+	Monitored int     `json:"monitored"`
+	Drifting  int     `json:"drifting"`
+	MeanHurst float64 `json:"mean_hurst"`
+	MaxACFErr float64 `json:"max_acf_err"`
+	MaxDrift  float64 `json:"max_drift"`
+
+	hurstN int
+}
+
+// statmonRollupTTL caches the fleet rollup between metric scrapes: the five
+// statmon gauges are separate GaugeFuncs, and each snapshot walks every
+// monitored session, so one scrape must not recompute the fleet five times.
+const statmonRollupTTL = time.Second
+
+// statmonRollup returns the (possibly cached) fleet aggregate.
+func (s *Server) statmonRollup() statmonFleet {
+	s.rollMu.Lock()
+	defer s.rollMu.Unlock()
+	now := time.Now()
+	if now.Sub(s.rollAt) < statmonRollupTTL {
+		return s.roll
+	}
+	s.rollAt = now
+	var f statmonFleet
+	for _, ss := range s.reg.list() {
+		ss.mu.Lock()
+		mon, closed := ss.mon, ss.closed
+		ss.mu.Unlock()
+		if mon == nil || closed {
+			continue
+		}
+		snap := mon.Snapshot()
+		f.Monitored++
+		if snap.Drifting {
+			f.Drifting++
+		}
+		if snap.HurstValid {
+			f.MeanHurst += snap.Hurst
+			f.hurstN++
+		}
+		if snap.ACFErr > f.MaxACFErr {
+			f.MaxACFErr = snap.ACFErr
+		}
+		if snap.Drift > f.MaxDrift {
+			f.MaxDrift = snap.Drift
+		}
+	}
+	if f.hurstN > 0 {
+		f.MeanHurst /= float64(f.hurstN)
+	}
+	s.roll = f
+	return f
+}
+
+// registerStatmonGauges exports the fleet rollup. Gauges, not per-session
+// labels: a 10k-session fleet must not mint 10k label sets per scrape — the
+// per-session detail lives behind GET /v1/sessions/{id}/stats.
+func (s *Server) registerStatmonGauges(reg *obs.Registry) {
+	reg.GaugeFunc("vbrsim_statmon_sessions_monitored",
+		"Sessions with a live statistical monitor attached.",
+		func() float64 { return float64(s.statmonRollup().Monitored) })
+	reg.GaugeFunc("vbrsim_statmon_sessions_drifting",
+		"Monitored sessions whose drift score is at or above the threshold.",
+		func() float64 { return float64(s.statmonRollup().Drifting) })
+	reg.GaugeFunc("vbrsim_statmon_hurst",
+		"Mean online aggregated-variance Hurst estimate across monitored sessions.",
+		func() float64 { return s.statmonRollup().MeanHurst })
+	reg.GaugeFunc("vbrsim_statmon_acf_err",
+		"Worst observed-vs-implied autocorrelation error across monitored sessions.",
+		func() float64 { return s.statmonRollup().MaxACFErr })
+	reg.GaugeFunc("vbrsim_statmon_drift",
+		"Worst drift score across monitored sessions.",
+		func() float64 { return s.statmonRollup().MaxDrift })
+}

@@ -14,6 +14,8 @@
 //	GET    /v1/streams/{id}              session state
 //	DELETE /v1/streams/{id}              close a session
 //	GET    /v1/streams/{id}/frames?n=N   stream N frames (&from=K to seek)
+//	GET    /v1/sessions/{id}/stats       live statistical-monitor snapshot
+//	GET    /v1/status                    fleet rollup (sessions, drift)
 //	POST   /v1/jobs                      submit fit / qsim-mc / qsim-is
 //	GET    /v1/jobs                      list jobs
 //	GET    /v1/jobs/{id}                 poll one job
@@ -31,8 +33,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -87,6 +91,18 @@ type Options struct {
 	// registry (keeps tests isolated). trafficd passes obs.Default so the
 	// daemon and in-process CLI instrumentation share one registry.
 	Registry *obs.Registry
+	// StatmonSampleEvery is the statistical self-monitor's chunk sampling
+	// rate: every k-th served chunk per session is folded into its monitor.
+	// 0 selects the default 32 (worst-case tap cost ~2-3% of frame
+	// synthesis); 1 observes everything; negative disables statmon.
+	StatmonSampleEvery int
+	// StatmonDriftThreshold flags a monitored session as drifting when its
+	// drift score reaches it. 0 selects statmon's default 1.0.
+	StatmonDriftThreshold float64
+	// AccessLog, when set, receives one NDJSON line per HTTP request (plus
+	// any pipeline spans opened under request contexts). Lines are written
+	// through the tracer's lock, so any io.Writer works.
+	AccessLog io.Writer
 }
 
 // defaultCostPerSession sizes the derived admission budget: roughly one
@@ -127,6 +143,9 @@ func (o *Options) fill() {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 64 << 20
 	}
+	if o.StatmonSampleEvery == 0 {
+		o.StatmonSampleEvery = 32
+	}
 }
 
 var (
@@ -152,6 +171,14 @@ type Server struct {
 
 	seedOrdinal atomic.Uint64
 	jobs        *jobPool
+
+	started time.Time
+	access  *obs.Tracer   // nil unless Options.AccessLog is set
+	reqSeq  atomic.Uint64 // request-id sequence
+
+	rollMu sync.Mutex // statmon fleet-rollup cache (see statmonRollup)
+	rollAt time.Time
+	roll   statmonFleet
 }
 
 // New builds a Server ready to serve.
@@ -166,15 +193,21 @@ func New(opt Options) *Server {
 		mux:     http.NewServeMux(),
 		metrics: newMetrics(reg),
 		adm:     newAdmission(opt.MaxCost, opt.MaxSessions),
+		started: time.Now(),
+	}
+	if opt.AccessLog != nil {
+		s.access = obs.NewTracer(opt.AccessLog)
 	}
 	s.reg = newSessionRegistry(opt.Shards, func(shard, active int) {
 		s.metrics.shardSessions.With(shardLabel(shard)).Set(float64(active))
 	})
-	// Pre-touch every shard's gauge so the exposition shows the full
-	// topology (all-zero shards included) from the first scrape.
+	// Pre-touch every shard's gauges and counters so the exposition shows
+	// the full topology (all-zero shards included) from the first scrape.
 	for i := 0; i < s.reg.numShards(); i++ {
 		s.metrics.shardSessions.With(shardLabel(i)).Set(0)
+		s.metrics.shardRequests.With(shardLabel(i)).Add(0)
 	}
+	s.registerStatmonGauges(reg)
 	reg.GaugeFunc("vbrsim_server_admission_cost_used",
 		"Admission-control cost units currently reserved by open sessions.",
 		s.adm.usedCost)
@@ -191,18 +224,23 @@ func New(opt Options) *Server {
 	// Server) and harmless in tests.
 	par.SetObserver(s.metrics.observePar)
 
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.Handle("GET /metrics", reg.Handler())
-	s.mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
-	s.mux.HandleFunc("POST /v1/trunks", s.handleTrunkCreate)
-	s.mux.HandleFunc("POST /v1/streams/step", s.handleStreamStep)
-	s.mux.HandleFunc("GET /v1/streams", s.handleStreamList)
-	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamGet)
-	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)
-	s.mux.HandleFunc("GET /v1/streams/{id}/frames", s.handleStreamFrames)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	// Every route goes through the RED middleware under a stable endpoint
+	// label (see middleware.go). The metrics scrape itself is instrumented
+	// too: scrape latency regressions should be visible in the scrape.
+	s.route("GET /healthz", "healthz", http.HandlerFunc(s.handleHealthz))
+	s.route("GET /metrics", "metrics", reg.Handler())
+	s.route("POST /v1/streams", "stream_create", http.HandlerFunc(s.handleStreamCreate))
+	s.route("POST /v1/trunks", "trunk_create", http.HandlerFunc(s.handleTrunkCreate))
+	s.route("POST /v1/streams/step", "step", http.HandlerFunc(s.handleStreamStep))
+	s.route("GET /v1/streams", "stream_list", http.HandlerFunc(s.handleStreamList))
+	s.route("GET /v1/streams/{id}", "stream_get", http.HandlerFunc(s.handleStreamGet))
+	s.route("DELETE /v1/streams/{id}", "stream_delete", http.HandlerFunc(s.handleStreamDelete))
+	s.route("GET /v1/streams/{id}/frames", "frames", http.HandlerFunc(s.handleStreamFrames))
+	s.route("GET /v1/sessions/{id}/stats", "session_stats", http.HandlerFunc(s.handleSessionStats))
+	s.route("GET /v1/status", "status", http.HandlerFunc(s.handleStatus))
+	s.route("POST /v1/jobs", "job_create", http.HandlerFunc(s.handleJobCreate))
+	s.route("GET /v1/jobs", "job_list", http.HandlerFunc(s.handleJobList))
+	s.route("GET /v1/jobs/{id}", "job_get", http.HandlerFunc(s.handleJobGet))
 	return s
 }
 
@@ -261,8 +299,9 @@ func (s *Server) runEvictor() {
 // evictIdleOnce runs one eviction sweep (the evictor tick; tests call it
 // directly for a deterministic sweep).
 func (s *Server) evictIdleOnce() int {
-	cutoff := time.Now().Add(-s.opt.IdleTimeout)
-	return s.reg.evictIdle(cutoff, func(ss *session) {
+	begin := time.Now()
+	cutoff := begin.Add(-s.opt.IdleTimeout)
+	n := s.reg.evictIdle(cutoff, func(ss *session) {
 		s.adm.release(ss.cost)
 		s.metrics.sessionsActive.Add(-1)
 		s.metrics.evictions.Inc()
@@ -270,6 +309,9 @@ func (s *Server) evictIdleOnce() int {
 			s.metrics.trunkSessions.Add(-1)
 		}
 	})
+	s.metrics.sweepSeconds.Observe(time.Since(begin).Seconds())
+	s.metrics.sessionsSwept.Add(float64(n))
+	return n
 }
 
 // ---------------------------------------------------------------------------

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"vbrsim/internal/modelspec"
+	"vbrsim/internal/statmon"
 	"vbrsim/internal/trunk"
 )
 
@@ -52,6 +53,12 @@ type session struct {
 	stream frameStream
 	served uint64 // frames written over all requests
 	closed bool   // stream closed (deleted or evicted); reject further use
+
+	// mon is the session's statistical self-monitor (nil when statmon is
+	// disabled). It has its own lock so metric scrapes and the stats
+	// endpoint never wait on ss.mu behind a long frames read; the serve
+	// path calls Observe while holding ss.mu, which orders the taps.
+	mon *statmon.Monitor
 }
 
 // touch refreshes the idle clock.
@@ -135,7 +142,13 @@ func (s *Server) addSession(ss *session) {
 }
 
 func (s *Server) getSession(id string) (*session, bool) {
-	return s.reg.get(id)
+	ss, ok := s.reg.get(id)
+	if ok {
+		// Per-shard lookup counter: with the sharded registry, a skewed
+		// request mix shows up here long before it shows up as contention.
+		s.metrics.shardRequests.With(shardLabel(s.reg.shardFor(id))).Inc()
+	}
+	return ss, ok
 }
 
 func (s *Server) removeSession(id string) bool {
@@ -234,6 +247,7 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		name = "stream"
 	}
 	ss := &session{name: name, cost: cost, seed: spec.Seed, created: time.Now(), stream: stream}
+	ss.mon = s.newStreamMonitor(&spec, stream)
 	s.addSession(ss)
 	writeJSON(w, http.StatusCreated, ss.info())
 }
@@ -293,6 +307,7 @@ func (s *Server) handleTrunkCreate(w http.ResponseWriter, r *http.Request) {
 		seed:    spec.Seed,
 		created: time.Now(),
 		stream:  tr,
+		mon:     s.newTrunkMonitor(),
 	}
 	s.addSession(ss)
 	writeJSON(w, http.StatusCreated, ss.info())
@@ -415,8 +430,15 @@ func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) {
 		if c > streamChunk {
 			c = streamChunk
 		}
+		emitBegin := time.Now()
 		buf = buf[:c]
 		ss.stream.Fill(buf)
+		// Statistical self-monitoring tap: zero-copy (the monitor reads buf
+		// in place, before the encoder reuses it) and position-aware, so the
+		// monitor can detect seeks and sampling gaps.
+		if ss.mon.Observe(int64(start+written), buf) {
+			s.metrics.statmonSampled.Add(float64(c))
+		}
 
 		out = out[:0]
 		switch enc {
@@ -438,6 +460,7 @@ func (s *Server) handleStreamFrames(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+		s.metrics.frameEmitSeconds.Observe(time.Since(emitBegin).Seconds())
 		written += c
 		ss.served += uint64(c)
 		s.metrics.framesStreamed.Add(float64(c))

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"vbrsim/internal/statmon"
+)
+
+// SessionStats is the GET /v1/sessions/{id}/stats response: the session's
+// identity plus the live monitor snapshot. Monitored is false (and Stats
+// absent) when statmon is disabled.
+type SessionStats struct {
+	ID        string            `json:"id"`
+	Name      string            `json:"name"`
+	Kind      string            `json:"kind,omitempty"`
+	Monitored bool              `json:"monitored"`
+	Stats     *statmon.Snapshot `json:"stats,omitempty"`
+}
+
+func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.getSession(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, errNoSession)
+		return
+	}
+	ss.mu.Lock()
+	mon, closed := ss.mon, ss.closed
+	out := SessionStats{ID: ss.id, Name: ss.name, Kind: ss.kind}
+	ss.mu.Unlock()
+	if closed {
+		httpError(w, http.StatusNotFound, errNoSession)
+		return
+	}
+	if mon != nil {
+		snap := mon.Snapshot()
+		out.Monitored = true
+		out.Stats = &snap
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// StatusReport is the GET /v1/status response: the one-screen fleet view.
+type StatusReport struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Draining      bool         `json:"draining"`
+	Sessions      int          `json:"sessions"`
+	TrunkSessions int          `json:"trunk_sessions"`
+	CostUsed      float64      `json:"admission_cost_used"`
+	Statmon       statmonFleet `json:"statmon"`
+	DriftingIDs   []string     `json:"drifting_ids,omitempty"`
+}
+
+// handleStatus serves the fleet rollup. Unlike the cached metric gauges
+// this walks the fleet fresh — the endpoint is for humans and scripts
+// investigating a run, and it names the drifting sessions.
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	rep := StatusReport{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Draining:      s.adm.isDraining(),
+		CostUsed:      s.adm.usedCost(),
+	}
+	var fleet statmonFleet
+	for _, ss := range s.reg.list() {
+		ss.mu.Lock()
+		mon, closed, kind, id := ss.mon, ss.closed, ss.kind, ss.id
+		ss.mu.Unlock()
+		if closed {
+			continue
+		}
+		rep.Sessions++
+		if kind == sessionKindTrunk {
+			rep.TrunkSessions++
+		}
+		if mon == nil {
+			continue
+		}
+		snap := mon.Snapshot()
+		fleet.Monitored++
+		if snap.Drifting {
+			fleet.Drifting++
+			rep.DriftingIDs = append(rep.DriftingIDs, id)
+		}
+		if snap.HurstValid {
+			fleet.MeanHurst += snap.Hurst
+			fleet.hurstN++
+		}
+		if snap.ACFErr > fleet.MaxACFErr {
+			fleet.MaxACFErr = snap.ACFErr
+		}
+		if snap.Drift > fleet.MaxDrift {
+			fleet.MaxDrift = snap.Drift
+		}
+	}
+	if fleet.hurstN > 0 {
+		fleet.MeanHurst /= float64(fleet.hurstN)
+	}
+	rep.Statmon = fleet
+	sortStrings(rep.DriftingIDs)
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// sortStrings orders the (short) drifting-ID list with the session-ID
+// comparator so the report is deterministic across registry shards.
+func sortStrings(ids []string) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && sessionIDLess(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -101,18 +101,28 @@ func (s *Server) handleStreamStep(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			res := StepResult{ID: ss.id, Start: ss.stream.Pos()}
+			// The statmon tap sees stepped frames too (same zero-copy,
+			// position-aware contract as the frames path); the sampled
+			// counter is atomic, so workers feed it without coordination.
 			if req.IncludeFrames {
 				res.Frames = make([]float64, req.N)
 				ss.stream.Fill(res.Frames)
+				if ss.mon.Observe(int64(res.Start), res.Frames) {
+					s.metrics.statmonSampled.Add(float64(req.N))
+				}
 			} else {
 				var buf [streamChunk]float64
-				for left := req.N; left > 0; {
+				for left, pos := req.N, res.Start; left > 0; {
 					c := left
 					if c > streamChunk {
 						c = streamChunk
 					}
 					ss.stream.Fill(buf[:c])
+					if ss.mon.Observe(int64(pos), buf[:c]) {
+						s.metrics.statmonSampled.Add(float64(c))
+					}
 					left -= c
+					pos += c
 				}
 			}
 			res.Pos = ss.stream.Pos()

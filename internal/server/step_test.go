@@ -155,7 +155,9 @@ func TestStreamStepIncludeFrames(t *testing.T) {
 // keyed by request index and each session's frames depend only on its own
 // spec, seed, and cumulative position. The fleet size (11) is chosen to
 // not divide evenly into any tested worker count, exercising the ragged
-// final chunk.
+// final chunk. The baseline runs with statmon disabled while the
+// multi-worker runs sample every chunk, so the comparison also proves the
+// monitor tap is determinism-neutral under concurrent workers.
 func TestStreamStepWorkerCountInvariance(t *testing.T) {
 	const fleet = 11
 	const stepN = 192
@@ -165,8 +167,8 @@ func TestStreamStepWorkerCountInvariance(t *testing.T) {
 	}
 	rounds := []round{{false, stepN}, {true, 64}, {true, 96}}
 
-	run := func(workers int) [][]StepResult {
-		_, ts := newTestServer(t, Options{StepWorkers: workers})
+	run := func(workers, statmonSample int) [][]StepResult {
+		_, ts := newTestServer(t, Options{StepWorkers: workers, StatmonSampleEvery: statmonSample})
 		var ids []string
 		for i := 0; i < fleet; i++ {
 			spec := blockPaperSpec(uint64(9000 + i))
@@ -189,9 +191,9 @@ func TestStreamStepWorkerCountInvariance(t *testing.T) {
 		return out
 	}
 
-	want := run(1)
+	want := run(1, -1) // statmon off: the untapped reference
 	for _, workers := range []int{3, 16} {
-		got := run(workers)
+		got := run(workers, 1) // statmon sampling every chunk
 		for r := range want {
 			if len(got[r]) != len(want[r]) {
 				t.Fatalf("workers=%d round %d: %d results, want %d", workers, r, len(got[r]), len(want[r]))

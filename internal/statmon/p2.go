@@ -1,0 +1,119 @@
+package statmon
+
+import "sort"
+
+// p2 is the Jain–Chlamtac P² streaming quantile estimator: five markers
+// tracking the running p-quantile with O(1) state and O(1) work per
+// observation, no allocation after construction. It is deliberately tiny —
+// the monitor embeds one per watched quantile inside a fixed array.
+type p2 struct {
+	p    float64
+	cnt  int        // observations seen
+	q    [5]float64 // marker heights
+	n    [5]float64 // marker positions (1-based counts, integral values)
+	np   [5]float64 // desired marker positions
+	dnp  [5]float64 // desired-position increments
+	init [5]float64 // first five observations, pre-steady-state
+}
+
+func newP2(p float64) p2 {
+	return p2{
+		p:   p,
+		dnp: [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+func (s *p2) push(x float64) {
+	if s.cnt < 5 {
+		s.init[s.cnt] = x
+		s.cnt++
+		if s.cnt == 5 {
+			// Sort the five seeds in place (insertion sort: fixed size,
+			// no allocation) and initialize the markers.
+			for i := 1; i < 5; i++ {
+				v := s.init[i]
+				j := i - 1
+				for j >= 0 && s.init[j] > v {
+					s.init[j+1] = s.init[j]
+					j--
+				}
+				s.init[j+1] = v
+			}
+			s.q = s.init
+			s.n = [5]float64{1, 2, 3, 4, 5}
+			p := s.p
+			s.np = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+		}
+		return
+	}
+	s.cnt++
+	// Locate the cell k with q[k] <= x < q[k+1], extending the extremes.
+	var k int
+	switch {
+	case x < s.q[0]:
+		s.q[0] = x
+		k = 0
+	case x >= s.q[4]:
+		s.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < s.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		s.np[i] += s.dnp[i]
+	}
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := s.np[i] - s.n[i]
+		if (d >= 1 && s.n[i+1]-s.n[i] > 1) || (d <= -1 && s.n[i-1]-s.n[i] < -1) {
+			sg := 1.0
+			if d < 0 {
+				sg = -1.0
+			}
+			qp := s.parabolic(i, sg)
+			if s.q[i-1] < qp && qp < s.q[i+1] {
+				s.q[i] = qp
+			} else {
+				s.q[i] = s.linear(i, sg)
+			}
+			s.n[i] += sg
+		}
+	}
+}
+
+func (s *p2) parabolic(i int, d float64) float64 {
+	return s.q[i] + d/(s.n[i+1]-s.n[i-1])*
+		((s.n[i]-s.n[i-1]+d)*(s.q[i+1]-s.q[i])/(s.n[i+1]-s.n[i])+
+			(s.n[i+1]-s.n[i]-d)*(s.q[i]-s.q[i-1])/(s.n[i]-s.n[i-1]))
+}
+
+func (s *p2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return s.q[i] + d*(s.q[j]-s.q[i])/(s.n[j]-s.n[i])
+}
+
+// quantile returns the current estimate. Before five observations it falls
+// back to the order statistic of what has been seen (allocating a tiny sorted
+// copy — this runs only from Snapshot, never on the frame path).
+func (s *p2) quantile() float64 {
+	if s.cnt >= 5 {
+		return s.q[2]
+	}
+	if s.cnt == 0 {
+		return 0
+	}
+	buf := append([]float64(nil), s.init[:s.cnt]...)
+	sort.Float64s(buf)
+	idx := int(s.p * float64(s.cnt))
+	if idx >= s.cnt {
+		idx = s.cnt - 1
+	}
+	return buf[idx]
+}

@@ -53,14 +53,16 @@ done
 echo "== benchdiff gate"
 # Regression gate over a small, stable benchmark subset: re-measure the
 # DH kernel, the fused inverse FFT kernel, the streaming-ladder headline
-# rungs, the sticky-chunk step fan-out, and the serial trunk fan-out rung
-# (also the zero-steady-state-alloc gate) and diff against the committed
-# BENCH_7.json. The 25% threshold is generous — it absorbs
+# rungs, the sticky-chunk step fan-out, the serial trunk fan-out rung
+# (also the zero-steady-state-alloc gate), and the statmon serve-path
+# ablation pair (the committed pair records the tap at <= 3% overhead;
+# regressing either side beyond the threshold fails) and diff against the
+# committed BENCH_8.json. The 25% threshold is generous — it absorbs
 # machine-to-machine and run-to-run noise while catching order-of-magnitude
 # regressions (a lost fast path, an accidental allocation in a refill).
 go run ./cmd/bench -benchtime 300ms \
-    -only 'DHPathRealInto|FFTHermitianReal|StreamTruncatedFill/n=16384|StreamBlockFill/n=16384|StreamBlockRefill|StreamStepAffinity|TrunkFillSerial' \
-    -compare BENCH_7.json -threshold 0.25
+    -only 'DHPathRealInto|FFTHermitianReal|StreamTruncatedFill/n=16384|StreamBlockFill/n=16384|StreamBlockRefill|StreamStepAffinity|TrunkFillSerial|StreamBlockFillStatmon' \
+    -compare BENCH_8.json -threshold 0.25
 
 echo "== capacity ramp smoke"
 # Serving-capacity gate: ramp a 1k-session in-process fleet through the
@@ -92,7 +94,10 @@ echo "== trafficd smoke test"
 tmpdir=$(mktemp -d)
 trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/trafficd" ./cmd/trafficd
-"$tmpdir/trafficd" -addr 127.0.0.1:0 >"$tmpdir/out" 2>"$tmpdir/err" &
+# -statmon-sample 1 observes every served chunk (so the drift smoke below
+# converges quickly); the access log lands in the tmpdir for validation.
+"$tmpdir/trafficd" -addr 127.0.0.1:0 -statmon-sample 1 \
+    -access-log "$tmpdir/access.ndjson" >"$tmpdir/out" 2>"$tmpdir/err" &
 daemon_pid=$!
 base=""
 for _ in $(seq 1 50); do
@@ -140,12 +145,67 @@ for name in \
     vbrsim_streamblock_block_ns \
     vbrsim_trunk_sessions_active vbrsim_trunk_sources_active vbrsim_trunk_fanout_ns \
     vbrsim_server_shard_sessions vbrsim_server_admission_rejects_total \
-    vbrsim_server_evictions_total vbrsim_server_admission_cost_used
+    vbrsim_server_evictions_total vbrsim_server_admission_cost_used \
+    vbrsim_server_sweep_seconds vbrsim_server_swept_sessions_total \
+    vbrsim_http_requests_total vbrsim_http_errors_total \
+    vbrsim_http_request_seconds vbrsim_http_in_flight \
+    vbrsim_server_shard_requests_total vbrsim_server_frame_emit_seconds \
+    vbrsim_statmon_frames_sampled_total vbrsim_statmon_hurst \
+    vbrsim_statmon_acf_err vbrsim_statmon_drift \
+    vbrsim_statmon_sessions_monitored vbrsim_statmon_sessions_drifting
 do
     grep -q "^# TYPE $name " "$tmpdir/metrics" \
         || { echo "documented metric $name missing from /metrics" >&2; exit 1; }
 done
 echo "metrics scrape gate OK"
+
+# Statmon drift smoke: two FGN streams serve identical H=0.75 traffic, but
+# one claims h=0.9 in its spec. After 2^17 frames each (stepped in one
+# batched request), the lying stream's online Hurst estimate sits ~0.15 off
+# its own claim — past the tolerance — while the honest stream conforms.
+cid=$(curl -sSf -X POST "$base/v1/streams" \
+    -d '{"name":"conforming","seed":31,"engine":"block","acf":{"kind":"fgn","hurst":0.75},"marginal":{"kind":"lognormal","mu":9.6,"sigma":0.4},"h":0.75}' \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+bid=$(curl -sSf -X POST "$base/v1/streams" \
+    -d '{"name":"wrong-h","seed":32,"engine":"block","acf":{"kind":"fgn","hurst":0.75},"marginal":{"kind":"lognormal","mu":9.6,"sigma":0.4},"h":0.9}' \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$cid" ] && [ -n "$bid" ] || { echo "drift-smoke stream creation failed" >&2; exit 1; }
+curl -sSf -X POST "$base/v1/streams/step" \
+    -d "{\"ids\":[\"$cid\",\"$bid\"],\"n\":131072}" >/dev/null
+status=$(curl -sSf "$base/v1/status")
+echo "$status" | grep -q "\"drifting_ids\":\[\"$bid\"\]" \
+    || { echo "wrong-H stream not flagged as drifting: $status" >&2; exit 1; }
+echo "$status" | grep -q '"drifting":1' \
+    || { echo "expected exactly one drifting session: $status" >&2; exit 1; }
+cstats=$(curl -sSf "$base/v1/sessions/$cid/stats")
+echo "$cstats" | grep -q '"drifting":false' \
+    || { echo "conforming stream reported drifting: $cstats" >&2; exit 1; }
+# The fleet gauges are a 1s-cached rollup; wait out the TTL so the scrape
+# reflects the post-step fleet.
+sleep 1.1
+curl -sSf "$base/metrics" >"$tmpdir/metrics_drift"
+grep -q '^vbrsim_statmon_sessions_drifting 1$' "$tmpdir/metrics_drift" \
+    || { echo "drifting-sessions gauge not 1" >&2; exit 1; }
+drift=$(sed -n 's/^vbrsim_statmon_drift //p' "$tmpdir/metrics_drift")
+awk -v d="$drift" 'BEGIN { exit !(d >= 1) }' \
+    || { echo "drift gauge $drift below alert threshold 1" >&2; exit 1; }
+echo "statmon drift smoke OK"
+
+# Access-log gate: every request above must have produced one NDJSON line
+# carrying a request id; every line must be a single JSON object.
+[ -s "$tmpdir/access.ndjson" ] || { echo "access log is empty" >&2; exit 1; }
+if grep -qv '^{.*}$' "$tmpdir/access.ndjson"; then
+    echo "access log contains non-JSON lines:" >&2
+    grep -v '^{.*}$' "$tmpdir/access.ndjson" >&2
+    exit 1
+fi
+grep -q '"type":"access"' "$tmpdir/access.ndjson" \
+    || { echo "access log has no access events" >&2; exit 1; }
+grep -q '"req_id":"r' "$tmpdir/access.ndjson" \
+    || { echo "access events carry no request ids" >&2; exit 1; }
+grep -q '"endpoint":"step"' "$tmpdir/access.ndjson" \
+    || { echo "access log missed the step request" >&2; exit 1; }
+echo "access log OK"
 
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || { echo "trafficd exited nonzero after SIGTERM" >&2; exit 1; }
